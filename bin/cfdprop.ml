@@ -1,0 +1,304 @@
+(* cfdprop — CFD propagation from the command line.
+
+   Reads a declaration file (schemas, source CFDs, SPC views; see
+   lib/syntax/parser.mli for the grammar) and answers propagation
+   questions:
+
+     cfdprop validate examples/customers.cfd
+     cfdprop cover    examples/customers.cfd --view V
+     cfdprop check    examples/customers.cfd "V([CC='44', zip] -> [street])"
+     cfdprop empty    examples/customers.cfd --view V
+*)
+
+open Core
+open Relational
+module Parser = Syntax.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Parser.parse_document (read_file path) with
+  | Ok doc -> doc
+  | Error msg ->
+    Fmt.epr "%s: %s@." path msg;
+    exit 2
+
+let find_view (doc : Parser.document) name =
+  let views = doc.Parser.views in
+  match name with
+  | Some n ->
+    (match List.find_opt (fun v -> String.equal v.Spc.name n) views with
+     | Some v -> v
+     | None ->
+       Fmt.epr "no view named %s@." n;
+       exit 2)
+  | None ->
+    (match views with
+     | [ v ] -> v
+     | [] ->
+       Fmt.epr "the file declares no view@.";
+       exit 2
+     | _ ->
+       Fmt.epr "several views declared; pick one with --view@.";
+       exit 2)
+
+(* Source CFDs = the CFDs of the document defined on source relations. *)
+let source_cfds (doc : Parser.document) =
+  List.filter (fun c -> Schema.mem doc.Parser.schema c.Cfds.Cfd.rel) doc.Parser.cfds
+
+let warn_finite (doc : Parser.document) =
+  if Schema.db_has_finite_attr doc.Parser.schema then
+    Fmt.epr
+      "note: the schema has finite-domain attributes; cover computation@ \
+       assumes the infinite-domain setting (Section 4).@."
+
+(* --- commands ----------------------------------------------------------- *)
+
+let validate path =
+  let doc = load path in
+  Fmt.pr "%a" Parser.print_document doc;
+  let rows =
+    List.fold_left
+      (fun n rel ->
+        n + Relation.cardinality (Database.instance doc.Parser.data (Schema.relation_name rel)))
+      0
+      (Schema.relations doc.Parser.schema)
+  in
+  Fmt.pr "# %d relation(s), %d CFD(s), %d CIND(s), %d view(s), %d data row(s)@."
+    (List.length (Schema.relations doc.Parser.schema))
+    (List.length doc.Parser.cfds)
+    (List.length doc.Parser.cinds)
+    (List.length doc.Parser.views)
+    rows;
+  0
+
+let cover path view_name chunk bound =
+  let doc = load path in
+  warn_finite doc;
+  let view = find_view doc view_name in
+  let sigma = source_cfds doc in
+  let options =
+    {
+      Propagation.Propcover.default_options with
+      Propagation.Propcover.prune_chunk = chunk;
+      max_intermediate = bound;
+    }
+  in
+  let r = Propagation.Propcover.cover ~options view sigma in
+  if r.Propagation.Propcover.always_empty then
+    Fmt.pr "# the view is empty on every source satisfying the CFDs@.";
+  if not r.Propagation.Propcover.complete then
+    Fmt.pr "# intermediate bound hit: this is a sound subset, not a cover@.";
+  List.iter
+    (fun c -> Fmt.pr "%a@." Parser.print_cfd c)
+    r.Propagation.Propcover.cover;
+  Fmt.pr "# %d CFD(s) in the minimal propagation cover@."
+    (List.length r.Propagation.Propcover.cover);
+  0
+
+let parse_view_cfd (doc : Parser.document) text =
+  match Parser.parse_document (Printf.sprintf "cfd %s;" text) with
+  | Ok { Parser.cfds = [ c ]; _ } -> c
+  | Ok _ ->
+    Fmt.epr "expected exactly one CFD@.";
+    exit 2
+  | Error msg ->
+    Fmt.epr "cannot parse CFD: %s@." msg;
+    exit 2
+  [@@warning "-27"]
+
+let check path cfd_text view_name budget =
+  let doc = load path in
+  let phi = parse_view_cfd doc cfd_text in
+  let view =
+    find_view doc (match view_name with Some _ -> view_name | None -> Some phi.Cfds.Cfd.rel)
+  in
+  let sigma = source_cfds doc in
+  let strategy = Propagation.Propagate.Auto { budget } in
+  match Propagation.Propagate.decide ~strategy view ~sigma phi with
+  | Propagation.Propagate.Propagated ->
+    Fmt.pr "PROPAGATED: every source satisfying the CFDs yields a view \
+            satisfying %a@."
+      Parser.print_cfd phi;
+    0
+  | Propagation.Propagate.Not_propagated witness ->
+    Fmt.pr "NOT PROPAGATED; counterexample source database:@.%a@." Database.pp
+      witness;
+    1
+  | Propagation.Propagate.Budget_exceeded ->
+    Fmt.pr "UNDECIDED: instantiation budget exhausted (raise --budget)@.";
+    3
+
+let empty path view_name budget =
+  let doc = load path in
+  let view = find_view doc view_name in
+  let sigma = source_cfds doc in
+  let strategy = Propagation.Propagate.Auto { budget } in
+  match Propagation.Emptiness.check_spc ~strategy view ~sigma with
+  | Propagation.Emptiness.Empty ->
+    Fmt.pr "EMPTY: the view is empty on every source satisfying the CFDs@.";
+    0
+  | Propagation.Emptiness.Nonempty witness ->
+    Fmt.pr "NONEMPTY; witness source database:@.%a@." Database.pp witness;
+    1
+  | Propagation.Emptiness.Budget_exceeded ->
+    Fmt.pr "UNDECIDED: instantiation budget exhausted (raise --budget)@.";
+    3
+
+(* Audit the declared data: source CFDs and CINDs directly, view-level CFDs
+   against the materialised views (application (3) of Section 1 — data
+   cleaning). *)
+let audit path do_repair =
+  let doc = load path in
+  let issues = ref 0 in
+  let report label n =
+    if n > 0 then begin
+      incr issues;
+      Fmt.pr "  [DIRTY] %-52s %d violation(s)@." label n
+    end
+    else Fmt.pr "  [clean] %s@." label
+  in
+  Fmt.pr "Source constraints:@.";
+  List.iter
+    (fun c ->
+      if Schema.mem doc.Parser.schema c.Cfds.Cfd.rel then
+        let inst = Database.instance doc.Parser.data c.Cfds.Cfd.rel in
+        report
+          (Fmt.str "%a" Parser.print_cfd c)
+          (List.length (Cfds.Cfd.violations inst c)))
+    doc.Parser.cfds;
+  List.iter
+    (fun c ->
+      report
+        (Fmt.str "%a" Parser.print_cind c)
+        (List.length (Cfds.Cind.violations doc.Parser.data c)))
+    doc.Parser.cinds;
+  let view_cfds =
+    List.filter
+      (fun c -> not (Schema.mem doc.Parser.schema c.Cfds.Cfd.rel))
+      doc.Parser.cfds
+  in
+  List.iter
+    (fun (v : Spc.t) ->
+      let mine =
+        List.filter (fun c -> String.equal c.Cfds.Cfd.rel v.Spc.name) view_cfds
+      in
+      if mine <> [] then begin
+        Fmt.pr "View %s (materialised, %d rows):@." v.Spc.name
+          (Relation.cardinality (Spc.eval v doc.Parser.data));
+        let out = Spc.eval v doc.Parser.data in
+        List.iter
+          (fun c ->
+            report
+              (Fmt.str "%a" Parser.print_cfd c)
+              (List.length (Cfds.Cfd.violations out c)))
+          mine
+      end)
+    doc.Parser.views;
+  if !issues = 0 then begin
+    Fmt.pr "No violations.@.";
+    0
+  end
+  else begin
+    Fmt.pr "%d constraint(s) violated.@." !issues;
+    if do_repair then begin
+      let source_sigma = source_cfds doc in
+      let repaired = Cfds.Repair.repair_db doc.Parser.data source_sigma in
+      Fmt.pr "@.Repaired data (CFD violations only; CINDs are reported, not repaired):@.";
+      List.iter
+        (fun rel ->
+          let inst = Database.instance repaired (Schema.relation_name rel) in
+          if not (Relation.is_empty inst) then Fmt.pr "%a@." Relation.pp inst)
+        (Schema.relations doc.Parser.schema)
+    end;
+    1
+  end
+
+(* --- cmdliner glue ------------------------------------------------------- *)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Declaration file.")
+
+let view_arg =
+  Arg.(value & opt (some string) None & info [ "view" ] ~docv:"NAME" ~doc:"View to use.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Finite-domain instantiation budget (general setting).")
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Parse a declaration file and echo it back.")
+    Term.(const validate $ path_arg)
+
+let cover_cmd =
+  let chunk =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prune-chunk" ]
+          ~doc:"Partitioned-MinCover pruning chunk inside RBR (Section 4.3).")
+  in
+  let bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-intermediate" ]
+          ~doc:"Heuristic bound on the RBR working set (truncates the cover).")
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:"Compute the minimal propagation cover of the source CFDs through a view.")
+    Term.(const cover $ path_arg $ view_arg $ chunk $ bound)
+
+let check_cmd =
+  let cfd_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CFD" ~doc:"View CFD, e.g. \"V([CC='44', zip] -> [street])\".")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide whether a view CFD is propagated.")
+    Term.(const check $ path_arg $ cfd_arg $ view_arg $ budget_arg)
+
+let empty_cmd =
+  Cmd.v
+    (Cmd.info "empty"
+       ~doc:"Decide whether the view is empty on every CFD-satisfying source.")
+    Term.(const empty $ path_arg $ view_arg $ budget_arg)
+
+let audit_cmd =
+  let repair_flag =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"After reporting, print a repaired version of the data \
+                (value modification with deletion fallback).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Check the declared data against every CFD and CIND; view-level \
+          CFDs are checked on the materialised views.")
+    Term.(const audit $ path_arg $ repair_flag)
+
+let () =
+  Format.pp_set_margin Format.std_formatter 10_000;
+  Format.pp_set_margin Format.err_formatter 10_000;
+  let info =
+    Cmd.info "cfdprop" ~version:"1.0.0"
+      ~doc:"Propagating functional dependencies with conditions (VLDB 2008)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ validate_cmd; cover_cmd; check_cmd; empty_cmd; audit_cmd ]))

@@ -1,0 +1,85 @@
+open Relational
+
+type side = {
+  rel : string;
+  attrs : string list;
+  condition : (string * Value.t) list;
+}
+
+type t = {
+  lhs : side;
+  rhs : side;
+}
+
+let check_side s =
+  let all = s.attrs @ List.map fst s.condition in
+  let sorted = List.sort String.compare all in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup sorted with
+  | Some a ->
+    invalid_arg
+      (Printf.sprintf "Cind.make: attribute %s repeated on one side of %s" a s.rel)
+  | None -> ()
+
+let make ~lhs ~rhs =
+  if List.length lhs.attrs <> List.length rhs.attrs then
+    invalid_arg "Cind.make: correspondence lists have different lengths";
+  if lhs.attrs = [] && lhs.condition = [] then
+    invalid_arg "Cind.make: empty left-hand side";
+  check_side lhs;
+  check_side rhs;
+  { lhs; rhs }
+
+let ind r1 xs r2 ys =
+  make
+    ~lhs:{ rel = r1; attrs = xs; condition = [] }
+    ~rhs:{ rel = r2; attrs = ys; condition = [] }
+
+let matching_lhs db c =
+  let inst = Database.instance db c.lhs.rel in
+  let schema = Relation.schema inst in
+  List.filter
+    (fun t ->
+      List.for_all
+        (fun (a, v) -> Value.equal (Tuple.get schema t a) v)
+        c.lhs.condition)
+    (Relation.tuples inst)
+
+let violations db c =
+  let rhs_inst = Database.instance db c.rhs.rel in
+  let rhs_schema = Relation.schema rhs_inst in
+  let lhs_schema = Relation.schema (Database.instance db c.lhs.rel) in
+  (* Index RHS tuples satisfying the RHS condition by their Y values. *)
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      if
+        List.for_all
+          (fun (a, v) -> Value.equal (Tuple.get rhs_schema t a) v)
+          c.rhs.condition
+      then
+        Hashtbl.replace index
+          (List.map (Tuple.get rhs_schema t) c.rhs.attrs)
+          ())
+    (Relation.tuples rhs_inst);
+  List.filter
+    (fun t ->
+      not (Hashtbl.mem index (List.map (Tuple.get lhs_schema t) c.lhs.attrs)))
+    (matching_lhs db c)
+
+let satisfies db c = violations db c = []
+
+let equal a b = a = b
+
+let pp_side ppf s =
+  let cond ppf (a, v) = Fmt.pf ppf "%s=%a" a Value.pp v in
+  Fmt.pf ppf "%s([%a]; [%a])" s.rel
+    Fmt.(list ~sep:(any ", ") string)
+    s.attrs
+    Fmt.(list ~sep:(any ", ") cond)
+    s.condition
+
+let pp ppf c = Fmt.pf ppf "%a <= %a" pp_side c.lhs pp_side c.rhs

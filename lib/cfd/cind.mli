@@ -1,0 +1,44 @@
+(** Conditional inclusion dependencies (CINDs) — the extension the paper's
+    future-work section points to (ref [5], Bravo, Fan & Ma, VLDB 2007).
+
+    A CIND [(R1\[X; Xp\] ⊆ R2\[Y; Yp\], tp)] states: every [R1] tuple whose
+    condition attributes [Xp] match the pattern constants has a matching
+    [R2] tuple — equal on the correspondence lists [X]/[Y] and carrying the
+    pattern constants on [Yp].  Plain INDs are the special case with empty
+    conditions.
+
+    Propagation analysis for CINDs (and CFDs + CINDs taken together) is
+    open research; this module provides the data model — construction,
+    satisfaction and violation reporting — so integrated data can at least
+    be {e audited} against them (see the [cfdprop audit] command). *)
+
+open Relational
+
+type side = {
+  rel : string;
+  attrs : string list;  (** the correspondence list [X] (resp. [Y]) *)
+  condition : (string * Value.t) list;  (** [Xp] (resp. [Yp]) with constants *)
+}
+
+type t = private {
+  lhs : side;
+  rhs : side;
+}
+
+(** [make ~lhs ~rhs] validates: equal correspondence lengths, disjointness
+    of each side's correspondence and condition attributes, no duplicate
+    attributes within a list.  Raises [Invalid_argument]. *)
+val make : lhs:side -> rhs:side -> t
+
+(** [ind r1 xs r2 ys] builds a plain (unconditional) inclusion
+    dependency. *)
+val ind : string -> string list -> string -> string list -> t
+
+(** [satisfies db c] decides [db |= c]. *)
+val satisfies : Database.t -> t -> bool
+
+(** [violations db c] lists the LHS tuples with no matching RHS tuple. *)
+val violations : Database.t -> t -> Tuple.t list
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

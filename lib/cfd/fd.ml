@@ -1,0 +1,117 @@
+open Relational
+
+type t = {
+  rel : string;
+  lhs : string list;
+  rhs : string list;
+}
+
+let make rel lhs rhs =
+  { rel; lhs = List.sort_uniq String.compare lhs; rhs = List.sort_uniq String.compare rhs }
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let closure fds xs =
+  let rec go acc =
+    let acc' =
+      List.fold_left
+        (fun acc f ->
+          if subset f.lhs acc then List.sort_uniq String.compare (f.rhs @ acc)
+          else acc)
+        acc fds
+    in
+    if List.length acc' = List.length acc then acc else go acc'
+  in
+  go (List.sort_uniq String.compare xs)
+
+let implies fds f =
+  let same_rel = List.filter (fun g -> String.equal g.rel f.rel) fds in
+  subset f.rhs (closure same_rel f.lhs)
+
+let is_trivial f = subset f.rhs f.lhs
+
+let minimal_cover fds =
+  (* Split into singleton RHSs. *)
+  let singles =
+    List.concat_map (fun f -> List.map (fun a -> { f with rhs = [ a ] }) f.rhs) fds
+  in
+  let singles = List.filter (fun f -> not (is_trivial f)) singles in
+  (* Remove extraneous LHS attributes. *)
+  let reduce_lhs all f =
+    let rec go lhs remaining =
+      match remaining with
+      | [] -> { f with lhs }
+      | a :: rest ->
+        let smaller = List.filter (fun b -> not (String.equal a b)) lhs in
+        if implies all { f with lhs = smaller } then go smaller rest
+        else go lhs rest
+    in
+    go f.lhs f.lhs
+  in
+  let reduced = List.map (fun f -> reduce_lhs singles f) singles in
+  let reduced = List.sort_uniq Stdlib.compare reduced in
+  (* Remove redundant FDs. *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | f :: rest ->
+      if implies (List.rev_append kept rest) f then prune kept rest
+      else prune (f :: kept) rest
+  in
+  prune [] reduced
+
+let project_cover_closure fds ~onto =
+  let onto = List.sort_uniq String.compare onto in
+  let n = List.length onto in
+  if n > 24 then invalid_arg "Fd.project_cover_closure: projection too wide";
+  let rel = match fds with f :: _ -> f.rel | [] -> "" in
+  let arr = Array.of_list onto in
+  let subsets = 1 lsl n in
+  let out = ref [] in
+  for mask = 0 to subsets - 1 do
+    let xs = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then xs := arr.(i) :: !xs
+    done;
+    let xs = !xs in
+    let cl = closure fds xs in
+    let rhs =
+      List.filter (fun a -> List.mem a cl && not (List.mem a xs)) onto
+    in
+    if rhs <> [] then out := { rel; lhs = xs; rhs } :: !out
+  done;
+  !out
+
+let satisfies r f =
+  let schema = Relation.schema r in
+  let tuples = Relation.tuples r in
+  let key t = List.map (Tuple.get schema t) f.lhs in
+  let value t = List.map (Tuple.get schema t) f.rhs in
+  let tbl = Hashtbl.create 16 in
+  List.for_all
+    (fun t ->
+      let k = key t and v = value t in
+      match Hashtbl.find_opt tbl k with
+      | Some v' -> List.for_all2 Value.equal v v'
+      | None ->
+        Hashtbl.add tbl k v;
+        true)
+    tuples
+
+let to_cfds f = List.map (fun a -> Cfd.fd f.rel f.lhs a) f.rhs
+
+let of_cfd c =
+  if Cfd.is_fd_like c then
+    Some (make c.Cfd.rel (List.map fst c.Cfd.lhs) [ fst c.Cfd.rhs ])
+  else None
+
+let equal a b =
+  String.equal a.rel b.rel
+  && a.lhs = b.lhs
+  && a.rhs = b.rhs
+
+let pp ppf f =
+  Fmt.pf ppf "%s(%a -> %a)" f.rel
+    Fmt.(list ~sep:(any ", ") string)
+    f.lhs
+    Fmt.(list ~sep:(any ", ") string)
+    f.rhs

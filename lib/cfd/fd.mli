@@ -1,0 +1,49 @@
+(** Traditional functional dependencies and the classical machinery around
+    them: attribute-set closure, implication, covers, and the textbook
+    exponential algorithm for projecting a set of FDs.
+
+    FDs are the special case of CFDs whose pattern tuples are all ['_']
+    (Section 2.1); {!to_cfds} performs that embedding. *)
+
+open Relational
+
+type t = {
+  rel : string;
+  lhs : string list;
+  rhs : string list;
+}
+
+val make : string -> string list -> string list -> t
+
+(** [closure fds xs] is the attribute-set closure [xs+] under the FDs
+    (restricted to those on the same relation as the first FD; the usual
+    linear-pass algorithm). *)
+val closure : t list -> string list -> string list
+
+(** [implies fds f] decides [fds |= f] via closure. *)
+val implies : t list -> t -> bool
+
+val is_trivial : t -> bool
+
+(** [minimal_cover fds] is a minimal cover: singleton RHSs, no extraneous
+    LHS attributes, no redundant FDs. *)
+val minimal_cover : t list -> t list
+
+(** [project_cover_closure fds ~onto] is the {e textbook} algorithm for
+    computing the embedded FDs of a projection view π_onto: for every subset
+    [X ⊆ onto], emit [X → (X+ ∩ onto)].  Always exponential in [|onto|]
+    (compare Section 4.1's discussion); serves as the baseline against RBR.
+    Raises [Invalid_argument] when [|onto| > 24]. *)
+val project_cover_closure : t list -> onto:string list -> t list
+
+(** [satisfies r f] decides [r |= f]. *)
+val satisfies : Relation.t -> t -> bool
+
+(** Embedding into CFDs: one all-wildcard CFD per RHS attribute. *)
+val to_cfds : t -> Cfd.t list
+
+(** [of_cfd c] recovers an FD from an all-wildcard CFD, if it is one. *)
+val of_cfd : Cfd.t -> t option
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

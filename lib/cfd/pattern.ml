@@ -1,0 +1,46 @@
+open Relational
+
+type sym =
+  | Const of Value.t
+  | Wild
+  | Svar
+
+let equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Wild, Wild | Svar, Svar -> true
+  | (Const _ | Wild | Svar), _ -> false
+
+let matches v = function
+  | Const c -> Value.equal v c
+  | Wild | Svar -> true
+
+let compatible p q =
+  match p, q with
+  | Const x, Const y -> Value.equal x y
+  | Wild, _ | _, Wild -> true
+  | Svar, Svar -> true
+  | Const _, Svar | Svar, Const _ -> true
+
+let leq p q =
+  match p, q with
+  | Const x, Const y -> Value.equal x y
+  | _, Wild -> true
+  | Wild, (Const _ | Svar) -> false
+  | Svar, (Const _ | Svar) -> false
+  | Const _, Svar -> false
+
+let meet p q =
+  match p, q with
+  | Const x, Const y -> if Value.equal x y then Some p else None
+  | Const _, Wild -> Some p
+  | Wild, Const _ -> Some q
+  | Wild, Wild -> Some Wild
+  | Svar, _ | _, Svar -> None
+
+let is_const = function Const _ -> true | Wild | Svar -> false
+
+let pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Wild -> Fmt.string ppf "_"
+  | Svar -> Fmt.string ppf "x"

@@ -1,0 +1,39 @@
+(** Pattern symbols of CFD pattern tuples (Definition 2.1).
+
+    A pattern entry is a constant ['a'], the unnamed wildcard ['_'] that
+    draws values from the attribute's domain, or the special shared variable
+    [x] used by view CFDs of the form [R(A → B, (x ‖ x))] that express the
+    selection condition [A = B]. *)
+
+open Relational
+
+type sym =
+  | Const of Value.t
+  | Wild  (** the unnamed variable ‘_’ *)
+  | Svar  (** the special variable [x] of attribute-equality view CFDs *)
+
+val equal : sym -> sym -> bool
+
+(** [matches v p] is the match relation [v ≍ p] between a value and a
+    pattern symbol: every value matches ['_']; a value matches a constant
+    pattern iff it equals it.  [Svar] patterns are handled by the
+    attribute-equality semantics, not per-value matching; [matches _ Svar]
+    is [true]. *)
+val matches : Value.t -> sym -> bool
+
+(** [compatible p q] is [≍] lifted to pattern symbols: [p ≍ q] iff they are
+    equal constants or one of them is ['_']. *)
+val compatible : sym -> sym -> bool
+
+(** [leq p q] is the partial order [≤] of Section 4.2: [p ≤ q] iff [p] and
+    [q] are the same constant, or [q = '_']. *)
+val leq : sym -> sym -> bool
+
+(** [meet p q] is the minimum of the [≤]-comparable pair, i.e. the [⊕]
+    combination used when building A-resolvents: the common constant, the
+    constant when the other side is ['_'], ['_'] when both are; [None] when
+    the constants differ (undefined). *)
+val meet : sym -> sym -> sym option
+
+val is_const : sym -> bool
+val pp : sym Fmt.t

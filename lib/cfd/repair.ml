@@ -1,0 +1,150 @@
+open Relational
+
+type strategy =
+  | Delete_tuples
+  | Modify_values
+
+type report = {
+  repaired : Relation.t;
+  deleted : int;
+  modified : int;
+}
+
+let relevant_cfds r sigma =
+  List.filter
+    (fun c -> String.equal c.Cfd.rel (Schema.relation_name (Relation.schema r)))
+    sigma
+
+(* Greedy deletion: remove the tuple involved in the most violations. *)
+let delete_pass r sigma =
+  let deleted = ref 0 in
+  let rec go r =
+    let offenders = Hashtbl.create 16 in
+    let bump t =
+      Hashtbl.replace offenders t (1 + Option.value ~default:0 (Hashtbl.find_opt offenders t))
+    in
+    List.iter
+      (fun c -> List.iter (fun (t, t') -> bump t; bump t') (Cfd.violations r c))
+      sigma;
+    if Hashtbl.length offenders = 0 then r
+    else begin
+      let worst, _ =
+        Hashtbl.fold
+          (fun t n best ->
+            match best with
+            | Some (_, m) when m >= n -> best
+            | _ -> Some (t, n))
+          offenders None
+        |> Option.get
+      in
+      incr deleted;
+      go (Relation.filter (fun t -> not (Tuple.equal t worst)) r)
+    end
+  in
+  let r = go r in
+  (r, !deleted)
+
+(* One value-modification sweep; returns the updated tuple list and the
+   number of cell writes. *)
+let modify_pass r sigma =
+  let schema = Relation.schema r in
+  let tuples = Array.of_list (List.map Array.copy (Relation.tuples r)) in
+  let writes = ref 0 in
+  let set t i v =
+    if not (Value.equal t.(i) v) then begin
+      t.(i) <- v;
+      incr writes
+    end
+  in
+  List.iter
+    (fun c ->
+      if not (Cfd.is_attr_eq c) then begin
+        let rhs_attr, rhs_pat = c.Cfd.rhs in
+        let ia = Schema.attr_index schema rhs_attr in
+        let matches t =
+          List.for_all
+            (fun (n, p) -> Pattern.matches t.(Schema.attr_index schema n) p)
+            c.Cfd.lhs
+        in
+        match rhs_pat with
+        | Pattern.Const a ->
+          (* Binding repairs: write the pattern constant. *)
+          Array.iter (fun t -> if matches t then set t ia a) tuples
+        | Pattern.Wild ->
+          (* Pair repairs: within each LHS group, overwrite with the
+             majority RHS value. *)
+          let groups = Hashtbl.create 16 in
+          Array.iter
+            (fun t ->
+              if matches t then begin
+                let key =
+                  List.map (fun (n, _) -> t.(Schema.attr_index schema n)) c.Cfd.lhs
+                in
+                Hashtbl.replace groups key
+                  (t :: Option.value ~default:[] (Hashtbl.find_opt groups key))
+              end)
+            tuples;
+          Hashtbl.iter
+            (fun _ group ->
+              let counts = Hashtbl.create 4 in
+              List.iter
+                (fun t ->
+                  Hashtbl.replace counts t.(ia)
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts t.(ia))))
+                group;
+              if Hashtbl.length counts > 1 then begin
+                let majority, _ =
+                  Hashtbl.fold
+                    (fun v n best ->
+                      match best with
+                      | Some (_, m) when m >= n -> best
+                      | _ -> Some (v, n))
+                    counts None
+                  |> Option.get
+                in
+                List.iter (fun t -> set t ia majority) group
+              end)
+            groups
+        | Pattern.Svar -> ()
+      end
+      else
+        (* Attribute equality: copy the LHS column onto the RHS column. *)
+        match c.Cfd.lhs, c.Cfd.rhs with
+        | [ (a, _) ], (b, _) ->
+          let ia = Schema.attr_index schema a and ib = Schema.attr_index schema b in
+          Array.iter (fun t -> set t ib t.(ia)) tuples
+        | _ -> ())
+    sigma;
+  (Relation.make_unchecked schema (Array.to_list tuples), !writes)
+
+let repair ?(strategy = Modify_values) r sigma =
+  let sigma = relevant_cfds r sigma in
+  match strategy with
+  | Delete_tuples ->
+    let repaired, deleted = delete_pass r sigma in
+    { repaired; deleted; modified = 0 }
+  | Modify_values ->
+    (* Sweep until clean or until the bound; cascades between CFDs make a
+       single sweep insufficient in general. *)
+    let max_sweeps = 5 + List.length sigma in
+    let rec sweeps r modified n =
+      if Cfd.satisfies_all r sigma then (r, modified, true)
+      else if n = 0 then (r, modified, false)
+      else
+        let r', w = modify_pass r sigma in
+        if w = 0 then (r', modified, Cfd.satisfies_all r' sigma)
+        else sweeps r' (modified + w) (n - 1)
+    in
+    let r', modified, clean = sweeps r 0 max_sweeps in
+    if clean then { repaired = r'; deleted = 0; modified }
+    else
+      let repaired, deleted = delete_pass r' sigma in
+      { repaired; deleted; modified }
+
+let repair_db ?strategy db sigma =
+  List.fold_left
+    (fun db rel ->
+      let inst = Database.instance db (Schema.relation_name rel) in
+      Database.with_instance db (repair ?strategy inst sigma).repaired)
+    db
+    (Schema.relations (Database.schema db))

@@ -1,0 +1,39 @@
+(** Repairing CFD violations — the data-cleaning side of CFDs (the paper's
+    application (3); CFDs were introduced in ref [8] precisely "for
+    capturing data inconsistencies").
+
+    Two classic repair strategies:
+
+    - {b value modification}: a binding violation ([t] matches the LHS
+      pattern but [t[A] ≠ a]) is fixed by writing the pattern constant;
+      a pair violation (two tuples agree on [X] but not on [A]) is fixed
+      by overwriting the minority [A]-value of the LHS group with the
+      majority value.  Modifications can cascade across CFDs, so the loop
+      is bounded; leftover violations fall back to deletion.
+    - {b tuple deletion}: greedily delete the tuple involved in the most
+      violations until none remain (always terminates, always succeeds —
+      the empty instance satisfies everything).
+
+    Minimum-cost repair is intractable in general; these are the standard
+    greedy heuristics, with the guarantee that the result satisfies every
+    given CFD. *)
+
+open Relational
+
+type strategy =
+  | Delete_tuples
+  | Modify_values  (** value modification first, deletion as fallback *)
+
+type report = {
+  repaired : Relation.t;  (** satisfies every given CFD *)
+  deleted : int;  (** tuples removed *)
+  modified : int;  (** cell writes performed *)
+}
+
+(** [repair ?strategy r sigma] repairs [r] against the CFDs of [sigma]
+    defined on its relation (others are ignored).  Default strategy:
+    [Modify_values]. *)
+val repair : ?strategy:strategy -> Relation.t -> Cfd.t list -> report
+
+(** [repair_db ?strategy db sigma] repairs every instance. *)
+val repair_db : ?strategy:strategy -> Database.t -> Cfd.t list -> Database.t

@@ -1,0 +1,222 @@
+open Relational
+
+type row = {
+  rel : Schema.relation;
+  terms : Term.t array;
+}
+
+type instance = row list
+
+type outcome =
+  | Fixpoint of instance * (Term.t -> Term.t)
+  | Failed
+
+exception Conflict
+
+let pos rel name =
+  try Schema.attr_index rel name
+  with Not_found ->
+    invalid_arg
+      (Printf.sprintf "Chase: attribute %s not in relation %s" name
+         (Schema.relation_name rel))
+
+let run cfds instance =
+  let rows = Array.of_list instance in
+  let s = Subst.create () in
+  let merge a b =
+    match Subst.merge s a b with
+    | `Changed -> true
+    | `Unchanged -> false
+    | `Conflict -> raise Conflict
+  in
+  let term row i = Subst.resolve s row.terms.(i) in
+  let apply_attr_eq cfd changed =
+    match cfd.Cfds.Cfd.lhs, cfd.Cfds.Cfd.rhs with
+    | [ (a, _) ], (b, _) ->
+      Array.fold_left
+        (fun changed row ->
+          if String.equal (Schema.relation_name row.rel) cfd.Cfds.Cfd.rel then
+            let pa = pos row.rel a and pb = pos row.rel b in
+            merge (term row pa) (term row pb) || changed
+          else changed)
+        changed rows
+    | _ -> assert false
+  in
+  let apply_standard cfd changed =
+    let rel_rows =
+      Array.to_list rows
+      |> List.filter (fun r ->
+             String.equal (Schema.relation_name r.rel) cfd.Cfds.Cfd.rel)
+    in
+    let lhs_pos r = List.map (fun (c, p) -> (pos r.rel c, p)) cfd.Cfds.Cfd.lhs in
+    let rhs_attr, rhs_pat = cfd.Cfds.Cfd.rhs in
+    let changed = ref changed in
+    let apply_pair t t' =
+      let lp = lhs_pos t in
+      let premise =
+        List.for_all
+          (fun (i, p) ->
+            let a = term t i and b = term t' i in
+            Term.equal a b && Term.matches a p)
+          lp
+      in
+      if premise then begin
+        let ia = pos t.rel rhs_attr in
+        match rhs_pat with
+        | Cfds.Pattern.Wild ->
+          if merge (term t ia) (term t' ia) then changed := true
+        | Cfds.Pattern.Const a ->
+          if merge (term t ia) (Term.C a) then changed := true;
+          if merge (term t' ia) (Term.C a) then changed := true
+        | Cfds.Pattern.Svar -> assert false
+      end
+    in
+    let rec pairs = function
+      | [] -> ()
+      | t :: rest ->
+        apply_pair t t;
+        List.iter (fun t' -> apply_pair t t') rest;
+        pairs rest
+    in
+    pairs rel_rows;
+    !changed
+  in
+  let step () =
+    List.fold_left
+      (fun changed cfd ->
+        if Cfds.Cfd.is_attr_eq cfd then apply_attr_eq cfd changed
+        else apply_standard cfd changed)
+      false cfds
+  in
+  try
+    let rec loop () = if step () then loop () in
+    loop ();
+    Fixpoint
+      ( Array.to_list
+          (Array.map (fun r -> { r with terms = Subst.apply_row s r.terms }) rows),
+        Subst.resolve s )
+  with Conflict -> Failed
+
+let constants_of instance =
+  List.concat_map
+    (fun r ->
+      Array.to_list r.terms
+      |> List.filter_map (function Term.C v -> Some v | Term.V _ -> None))
+    instance
+  |> List.sort_uniq Value.compare
+
+(* Columns (relation name, attribute index) where each variable occurs. *)
+let var_columns instance =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Term.V v ->
+            let cols = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+            Hashtbl.replace tbl v ((r.rel, i) :: cols)
+          | Term.C _ -> ())
+        r.terms)
+    instance;
+  tbl
+
+let to_database ?(inert_columns = []) schema instance ~extra_avoid ~var_avoid
+    ~distinct_vars =
+  let inert (rel, i) =
+    List.exists
+      (fun (n, j) -> String.equal n (Schema.relation_name rel) && i = j)
+      inert_columns
+  in
+  let columns = var_columns instance in
+  let assignment : (int, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let avoid = ref (constants_of instance @ extra_avoid) in
+  (* Values already present in a given column (constants of rows sharing the
+     column plus previously assigned variables in it). *)
+  let column_values (rel, i) =
+    List.concat_map
+      (fun r ->
+        if Schema.relation_name r.rel = Schema.relation_name rel then
+          match r.terms.(i) with
+          | Term.C v -> [ v ]
+          | Term.V w ->
+            (match Hashtbl.find_opt assignment w with Some v -> [ v ] | None -> [])
+        else [])
+      instance
+  in
+  let assign v cols =
+    let partners =
+      List.filter_map
+        (fun (a, b) ->
+          if a = v then Hashtbl.find_opt assignment b
+          else if b = v then Hashtbl.find_opt assignment a
+          else None)
+        distinct_vars
+    in
+    let forbidden =
+      partners @ Option.value ~default:[] (List.assoc_opt v var_avoid)
+    in
+    let domains =
+      List.map (fun (rel, i) -> Attribute.domain (Schema.nth_attr rel i)) cols
+    in
+    let finite = List.filter Domain.is_finite domains in
+    if finite = [] then begin
+      let d = match domains with d :: _ -> d | [] -> assert false in
+      match Domain.fresh_constants d 1 ~avoid:(forbidden @ !avoid) with
+      | [ value ] ->
+        avoid := value :: !avoid;
+        Hashtbl.replace assignment v value
+      | _ -> assert false
+    end
+    else begin
+      let candidates =
+        List.fold_left
+          (fun acc d -> List.filter (fun x -> Domain.mem x d) acc)
+          (Domain.members (List.hd finite))
+          (List.tl finite)
+      in
+      let taken =
+        if List.for_all inert cols then forbidden
+        else forbidden @ List.concat_map column_values cols
+      in
+      match
+        List.find_opt
+          (fun c -> not (List.exists (Value.equal c) taken))
+          candidates
+      with
+      | Some value -> Hashtbl.replace assignment v value
+      | None ->
+        invalid_arg
+          "Chase.to_database: cannot realise instance (finite domain too small)"
+    end
+  in
+  let vars = Hashtbl.fold (fun v cols acc -> (v, cols) :: acc) columns [] in
+  List.iter
+    (fun (v, cols) -> assign v cols)
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) vars);
+  let value = function
+    | Term.C v -> v
+    | Term.V v -> Hashtbl.find assignment v
+  in
+  let by_rel = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let name = Schema.relation_name r.rel in
+      let tuples = Option.value ~default:[] (Hashtbl.find_opt by_rel name) in
+      Hashtbl.replace by_rel name (Array.map value r.terms :: tuples))
+    instance;
+  let relations =
+    Hashtbl.fold
+      (fun name tuples acc ->
+        Relation.make_unchecked (Schema.find schema name) tuples :: acc)
+      by_rel []
+  in
+  Database.make schema relations
+
+let pp_row ppf r =
+  Fmt.pf ppf "%s(%a)"
+    (Schema.relation_name r.rel)
+    Fmt.(list ~sep:(any ", ") Term.pp)
+    (Array.to_list r.terms)
+
+let pp ppf inst = Fmt.(list ~sep:(any "; ") pp_row) ppf inst

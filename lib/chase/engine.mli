@@ -1,0 +1,66 @@
+(** The chase, extended to CFDs (proofs of Theorems 3.1 and 3.7).
+
+    An instance is a set of rows over source relations whose entries are
+    terms.  Chasing applies every CFD until fixpoint:
+
+    - {b Case 1} (wildcard RHS): two rows that agree — term-wise — on the
+      LHS and match its pattern get their RHS terms merged;
+    - {b Case 2} (constant RHS): a row matching the LHS pattern gets its RHS
+      term bound to the constant (this covers the pair [(t, t)]);
+    - attribute-equality CFDs [(A → B, (x ‖ x))] merge [t\[A\]] and
+      [t\[B\]] in every row.
+
+    Merging two distinct constants is the failure ⊥: the pattern described
+    by the instance cannot be realised in any instance satisfying the
+    CFDs. *)
+
+open Relational
+
+type row = {
+  rel : Schema.relation;
+  terms : Term.t array;
+}
+
+type instance = row list
+
+type outcome =
+  | Fixpoint of instance * (Term.t -> Term.t)
+      (** resolved rows, plus a resolver for terms held outside the rows
+          (e.g. tableau summaries) *)
+  | Failed
+
+(** [run cfds instance] chases [instance] by [cfds] to fixpoint or failure.
+    CFD attribute names are resolved against each row's relation schema;
+    unknown attributes raise [Invalid_argument]. *)
+val run : Cfds.Cfd.t list -> instance -> outcome
+
+(** [constants_of instance] lists every constant occurring in the rows. *)
+val constants_of : instance -> Value.t list
+
+(** [to_database schema instance ~extra_avoid ~var_avoid] realises a chased
+    instance as a concrete database: every remaining variable is
+    instantiated, per variable, with a fresh constant distinct from all
+    constants of the instance, of [extra_avoid], and of other variables
+    sharing a column with it.  [var_avoid] lists additional per-variable
+    forbidden values (e.g. the RHS pattern constant a violating tuple must
+    differ from).  For variables on finite-domain columns a value is chosen
+    greedily from the (intersection of the) finite domains; raises
+    [Invalid_argument] if no value is available (callers guard this with the
+    conditions of the PTIME special cases).
+
+    [inert_columns] lists columns — (relation name, attribute index) pairs —
+    that no CFD of the instance's Σ mentions: variables occurring only in
+    such columns may reuse values freely (equalities there cannot fire any
+    chase rule), which keeps realisation possible when a small finite domain
+    backs a column with many rows. *)
+val to_database :
+  ?inert_columns:(string * int) list ->
+  Schema.db ->
+  instance ->
+  extra_avoid:Value.t list ->
+  var_avoid:(int * Value.t list) list ->
+  distinct_vars:(int * int) list ->
+  Database.t
+
+val pp_row : row Fmt.t
+val pp : instance Fmt.t

@@ -1,0 +1,149 @@
+open Relational
+
+(* ---------------------------------------------------------------------- *)
+(* Evaluation by embedding.                                                *)
+
+let eval (t : Tableau.t) ~view_schema db =
+  let binding : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let results = ref [] in
+  let rec embed rows =
+    match rows with
+    | [] ->
+      let tuple =
+        Array.of_list
+          (List.map
+             (fun (_, term) ->
+               match term with
+               | Term.C v -> v
+               | Term.V x -> Hashtbl.find binding x)
+             t.Tableau.summary)
+      in
+      results := tuple :: !results
+    | (row : Engine.row) :: rest ->
+      let inst = Database.instance db (Schema.relation_name row.Engine.rel) in
+      List.iter
+        (fun tuple ->
+          (* Try to unify the row with this tuple, trailing new bindings. *)
+          let trail = ref [] in
+          let ok = ref true in
+          Array.iteri
+            (fun i term ->
+              if !ok then
+                match term with
+                | Term.C v -> if not (Value.equal v tuple.(i)) then ok := false
+                | Term.V x ->
+                  (match Hashtbl.find_opt binding x with
+                   | Some v -> if not (Value.equal v tuple.(i)) then ok := false
+                   | None ->
+                     Hashtbl.add binding x tuple.(i);
+                     trail := x :: !trail))
+            row.Engine.terms;
+          if !ok then embed rest;
+          List.iter (Hashtbl.remove binding) !trail)
+        (Relation.tuples inst)
+  in
+  embed t.Tableau.rows;
+  Relation.make_unchecked view_schema !results
+
+(* ---------------------------------------------------------------------- *)
+(* Homomorphisms.                                                          *)
+
+let exists ~(from : Tableau.t) ~(into : Tableau.t) =
+  let same_signature =
+    List.length from.Tableau.summary = List.length into.Tableau.summary
+    && List.for_all2
+         (fun (a, _) (b, _) -> String.equal a b)
+         from.Tableau.summary into.Tableau.summary
+  in
+  if not same_signature then false
+  else begin
+    let mapping : (int, Term.t) Hashtbl.t = Hashtbl.create 16 in
+    (* Seed: the summary must be preserved. *)
+    let seed_ok =
+      List.for_all2
+        (fun (_, tf) (_, ti) ->
+          match tf with
+          | Term.C v -> (match ti with Term.C w -> Value.equal v w | Term.V _ -> false)
+          | Term.V x ->
+            (match Hashtbl.find_opt mapping x with
+             | Some t -> Term.equal t ti
+             | None ->
+               Hashtbl.add mapping x ti;
+               true))
+        from.Tableau.summary into.Tableau.summary
+    in
+    seed_ok
+    &&
+    let rec search rows =
+      match rows with
+      | [] -> true
+      | (row : Engine.row) :: rest ->
+        let candidates =
+          List.filter
+            (fun (r : Engine.row) ->
+              String.equal
+                (Schema.relation_name r.Engine.rel)
+                (Schema.relation_name row.Engine.rel))
+            into.Tableau.rows
+        in
+        List.exists
+          (fun (target : Engine.row) ->
+            let trail = ref [] in
+            let ok = ref true in
+            Array.iteri
+              (fun i term ->
+                if !ok then
+                  let dest = target.Engine.terms.(i) in
+                  match term with
+                  | Term.C v ->
+                    (match dest with
+                     | Term.C w -> if not (Value.equal v w) then ok := false
+                     | Term.V _ -> ok := false)
+                  | Term.V x ->
+                    (match Hashtbl.find_opt mapping x with
+                     | Some t -> if not (Term.equal t dest) then ok := false
+                     | None ->
+                       Hashtbl.add mapping x dest;
+                       trail := x :: !trail))
+              row.Engine.terms;
+            let success = !ok && search rest in
+            if not success then List.iter (Hashtbl.remove mapping) !trail;
+            success)
+          candidates
+    in
+    search from.Tableau.rows
+  end
+
+let contained t1 t2 = exists ~from:t2 ~into:t1
+let equivalent t1 t2 = contained t1 t2 && contained t2 t1
+
+let minimize (t : Tableau.t) =
+  let drop i rows = List.filteri (fun j _ -> j <> i) rows in
+  let rec go current =
+    let n = List.length current.Tableau.rows in
+    let rec try_drop i =
+      if i >= n then current
+      else
+        let candidate = { current with Tableau.rows = drop i current.Tableau.rows } in
+        (* Dropping a row weakens the query (candidate ⊇ current); they stay
+           equivalent iff current maps homomorphically into the candidate. *)
+        if exists ~from:current ~into:candidate then go candidate
+        else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  go t
+
+let redundant_atoms (v : Spc.t) =
+  let gen = Term.make_gen () in
+  match Tableau.of_spc ~gen v with
+  | Error `Statically_empty -> []
+  | Ok t ->
+    List.concat
+      (List.mapi
+         (fun i _ ->
+           let candidate =
+             { t with Tableau.rows = List.filteri (fun j _ -> j <> i) t.Tableau.rows }
+           in
+           if exists ~from:t ~into:candidate then [ i ] else [])
+         t.Tableau.rows)

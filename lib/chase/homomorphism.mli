@@ -1,0 +1,37 @@
+(** Tableau queries as first-class citizens (appendix, Theorem 1): direct
+    evaluation by embedding, homomorphisms, containment and minimisation.
+
+    A homomorphism from tableau [T1] to [T2] maps variables to terms so
+    that every row of [T1] becomes a row of [T2] and the summaries
+    correspond; by the classical Chandra–Merlin argument, [T2 ⊆ T1]
+    (as queries) iff such a homomorphism exists.  Minimisation repeatedly
+    drops redundant rows — the "minimize input SPC views" optimisation
+    mentioned in Section 4.3 (and, as the paper notes, NP-hard in
+    general: these procedures backtrack). *)
+
+open Relational
+
+(** [eval t ~view_schema db] evaluates the tableau query: every embedding
+    of the rows into [db]'s instances (constants fixed, variables mapped
+    consistently) emits the instantiated summary. *)
+val eval : Tableau.t -> view_schema:Schema.relation -> Database.t -> Relation.t
+
+(** [exists ~from:t1 ~into:t2] decides whether a homomorphism [t1 → t2]
+    exists (fixing summaries: the image of [t1]'s summary term for
+    attribute [a] must equal [t2]'s). *)
+val exists : from:Tableau.t -> into:Tableau.t -> bool
+
+(** [contained t1 t2] decides [t1 ⊆ t2] as queries, i.e. a homomorphism
+    [t2 → t1] exists. *)
+val contained : Tableau.t -> Tableau.t -> bool
+
+val equivalent : Tableau.t -> Tableau.t -> bool
+
+(** [minimize t] greedily drops rows while the reduced tableau stays
+    equivalent to [t]; the result is a minimal equivalent subquery. *)
+val minimize : Tableau.t -> Tableau.t
+
+(** [redundant_atoms v] lists the (0-based) indices of view atoms whose
+    tableau row is redundant — candidates for removal when simplifying the
+    SPC view before cover computation. *)
+val redundant_atoms : Spc.t -> int list

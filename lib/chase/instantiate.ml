@@ -1,0 +1,64 @@
+open Relational
+
+let finite_vars instance =
+  let tbl : (int, Value.t list option) Hashtbl.t = Hashtbl.create 16 in
+  (* None = not yet constrained by a finite column. *)
+  List.iter
+    (fun (r : Engine.row) ->
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Term.C _ -> ()
+          | Term.V v ->
+            let d = Attribute.domain (Schema.nth_attr r.Engine.rel i) in
+            if Domain.is_finite d then begin
+              let members = Domain.members d in
+              match Hashtbl.find_opt tbl v with
+              | None | Some None -> Hashtbl.replace tbl v (Some members)
+              | Some (Some prev) ->
+                Hashtbl.replace tbl v
+                  (Some (List.filter (fun x -> List.exists (Value.equal x) members) prev))
+            end
+            else if not (Hashtbl.mem tbl v) then Hashtbl.replace tbl v None)
+        r.Engine.terms)
+    instance;
+  Hashtbl.fold
+    (fun v c acc -> match c with Some vs -> (v, vs) :: acc | None -> acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let count vars =
+  List.fold_left
+    (fun acc (_, vs) ->
+      let n = List.length vs in
+      if acc > max_int / (max n 1) then max_int else acc * n)
+    1 vars
+
+let enumerate vars instance =
+  let apply assignment =
+    List.map
+      (fun (r : Engine.row) ->
+        {
+          r with
+          Engine.terms =
+            Array.map
+              (fun t ->
+                match t with
+                | Term.C _ -> t
+                | Term.V v ->
+                  (match List.assoc_opt v assignment with
+                   | Some value -> Term.C value
+                   | None -> t))
+              r.Engine.terms;
+        })
+      instance
+  in
+  let rec build vars assignment () =
+    match vars with
+    | [] -> Seq.Cons ((assignment, apply assignment), Seq.empty)
+    | (v, values) :: rest ->
+      List.fold_right
+        (fun value acc -> Seq.append (build rest ((v, value) :: assignment)) acc)
+        values Seq.empty ()
+  in
+  build vars []

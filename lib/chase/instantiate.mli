@@ -1,0 +1,26 @@
+(** Finite-domain instantiation (the general setting).
+
+    Theorems 3.2, 3.3 and 3.7 handle finite-domain attributes by
+    instantiating every variable that occurs in a finite-domain column with
+    each constant of its domain, and running the (PTIME) chase per
+    instantiation — the source of the coNP upper bounds. *)
+
+open Relational
+
+(** [finite_vars instance] maps every variable occurring in at least one
+    finite-domain column to its candidate values: the intersection of the
+    finite domains of all such columns.  A variable whose intersection is
+    empty makes the whole enumeration empty. *)
+val finite_vars : Engine.instance -> (int * Value.t list) list
+
+(** [count vars] is the number of instantiations (capped at [max_int] on
+    overflow). *)
+val count : (int * Value.t list) list -> int
+
+(** [enumerate vars instance] lazily produces every instantiation — the
+    assignment together with the instance it yields.  With [vars = []] the
+    single element is [([], instance)]. *)
+val enumerate :
+  (int * Value.t list) list ->
+  Engine.instance ->
+  ((int * Value.t) list * Engine.instance) Seq.t

@@ -1,0 +1,28 @@
+type t = (int, Term.t) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let rec resolve s t =
+  match t with
+  | Term.C _ -> t
+  | Term.V i ->
+    (match Hashtbl.find_opt s i with
+     | None -> t
+     | Some t' ->
+       let r = resolve s t' in
+       if not (Term.equal r t') then Hashtbl.replace s i r;
+       r)
+
+let merge s a b =
+  let a = resolve s a and b = resolve s b in
+  match a, b with
+  | _ when Term.equal a b -> `Unchanged
+  | Term.C _, Term.C _ -> `Conflict
+  | Term.V i, (Term.C _ as c) | (Term.C _ as c), Term.V i ->
+    Hashtbl.replace s i c;
+    `Changed
+  | Term.V i, Term.V j ->
+    if i < j then Hashtbl.replace s j (Term.V i) else Hashtbl.replace s i (Term.V j);
+    `Changed
+
+let apply_row s row = Array.map (resolve s) row

@@ -1,0 +1,19 @@
+(** Mutable substitutions over chase variables: a union-find whose classes
+    may be bound to a constant.  Merging two distinct constants is the chase
+    failure ⊥. *)
+
+type t
+
+val create : unit -> t
+
+(** [resolve s t] follows bindings to the representative term (with path
+    compression). *)
+val resolve : t -> Term.t -> Term.t
+
+(** [merge s a b] identifies [a] and [b].  Variables are bound towards the
+    smaller representative (constants win over variables; lower-numbered
+    variables win over higher-numbered ones).  Returns [`Changed] /
+    [`Unchanged], or [`Conflict] when two distinct constants meet. *)
+val merge : t -> Term.t -> Term.t -> [ `Changed | `Unchanged | `Conflict ]
+
+val apply_row : t -> Term.t array -> Term.t array

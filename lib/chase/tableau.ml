@@ -1,0 +1,91 @@
+open Relational
+
+type t = {
+  summary : (string * Term.t) list;
+  rows : Engine.instance;
+}
+
+let of_spc ~gen (v : Spc.t) =
+  (* One row of fresh variables per atom; remember where each renamed body
+     attribute lives. *)
+  let index = Hashtbl.create 16 in
+  let rows =
+    List.mapi
+      (fun j (a : Spc.atom) ->
+        let rel = Schema.find v.Spc.source a.Spc.base in
+        let terms = Array.map (fun _ -> Term.fresh gen) (Array.of_list a.Spc.attrs) in
+        List.iteri
+          (fun i attr -> Hashtbl.replace index (Attribute.name attr) (j, i))
+          a.Spc.attrs;
+        { Engine.rel; terms })
+      v.Spc.atoms
+  in
+  let rows = Array.of_list rows in
+  let s = Subst.create () in
+  let term_of name =
+    let j, i = Hashtbl.find index name in
+    rows.(j).Engine.terms.(i)
+  in
+  let exception Empty in
+  try
+    List.iter
+      (fun sel ->
+        let outcome =
+          match sel with
+          | Spc.Sel_eq (a, b) -> Subst.merge s (term_of a) (term_of b)
+          | Spc.Sel_const (a, c) -> Subst.merge s (term_of a) (Term.C c)
+        in
+        match outcome with
+        | `Conflict -> raise Empty
+        | `Changed | `Unchanged -> ())
+      v.Spc.selection;
+    let rows =
+      Array.to_list
+        (Array.map
+           (fun r -> { r with Engine.terms = Subst.apply_row s r.Engine.terms })
+           rows)
+    in
+    let summary =
+      List.map
+        (fun name ->
+          match Hashtbl.find_opt index name with
+          | Some _ -> (name, Subst.resolve s (term_of name))
+          | None ->
+            let value =
+              snd
+                (List.find
+                   (fun (a, _) -> String.equal (Attribute.name a) name)
+                   v.Spc.constants)
+            in
+            (name, Term.C value))
+        v.Spc.projection
+    in
+    Ok { summary; rows }
+  with Empty -> Error `Statically_empty
+
+let refresh ~gen t =
+  let mapping = Hashtbl.create 16 in
+  let rename = function
+    | Term.C _ as c -> c
+    | Term.V i ->
+      (match Hashtbl.find_opt mapping i with
+       | Some t -> t
+       | None ->
+         let t = Term.fresh gen in
+         Hashtbl.replace mapping i t;
+         t)
+  in
+  {
+    summary = List.map (fun (n, t) -> (n, rename t)) t.summary;
+    rows =
+      List.map
+        (fun r -> { r with Engine.terms = Array.map rename r.Engine.terms })
+        t.rows;
+  }
+
+let summary_term t a = List.assoc a t.summary
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>summary: %a@,%a@]"
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string Term.pp))
+    t.summary Engine.pp t.rows

@@ -1,0 +1,27 @@
+(** Tableau representations of SPC views (appendix, Theorem 1 and
+    Corollary 2): one free tuple of fresh variables per relation atom, the
+    selection condition applied by unification, and a single summary row
+    mapping every view attribute to a term. *)
+
+open Relational
+
+type t = {
+  summary : (string * Term.t) list;
+      (** view attribute name → term ([Rc] attributes map to constants) *)
+  rows : Engine.instance;
+}
+
+(** [of_spc ~gen v] builds the tableau of [v].  [`Statically_empty] is
+    returned when the selection condition is unsatisfiable on its own
+    (e.g. [A = 'a' ∧ A = 'b']): the view is empty on every database. *)
+val of_spc : gen:Term.gen -> Spc.t -> (t, [ `Statically_empty ]) result
+
+(** [refresh ~gen t] renames every variable of [t] to a fresh one,
+    consistently — the second copy ρ2 of the proof of Theorem 3.1. *)
+val refresh : gen:Term.gen -> t -> t
+
+(** [summary_term t a] is the term of view attribute [a].
+    Raises [Not_found] if [a] is not a view attribute. *)
+val summary_term : t -> string -> Term.t
+
+val pp : t Fmt.t

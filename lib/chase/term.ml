@@ -1,0 +1,39 @@
+open Relational
+
+type t =
+  | C of Value.t
+  | V of int
+
+let equal a b =
+  match a, b with
+  | C x, C y -> Value.equal x y
+  | V x, V y -> Int.equal x y
+  | (C _ | V _), _ -> false
+
+let compare a b =
+  match a, b with
+  | C x, C y -> Value.compare x y
+  | V x, V y -> Int.compare x y
+  | C _, V _ -> -1
+  | V _, C _ -> 1
+
+let is_var = function V _ -> true | C _ -> false
+
+let matches t p =
+  match t, p with
+  | _, Cfds.Pattern.Wild -> true
+  | C v, Cfds.Pattern.Const c -> Value.equal v c
+  | V _, Cfds.Pattern.Const _ -> false
+  | _, Cfds.Pattern.Svar -> true
+
+type gen = int ref
+
+let make_gen () = ref 0
+
+let fresh g =
+  incr g;
+  V !g
+
+let pp ppf = function
+  | C v -> Value.pp ppf v
+  | V i -> Fmt.pf ppf "v%d" i

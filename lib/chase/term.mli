@@ -1,0 +1,28 @@
+(** Chase terms: constants and numbered variables.
+
+    The proofs in the appendix assume a total order on variables so that
+    merges are directed deterministically; we use the integer order. *)
+
+open Relational
+
+type t =
+  | C of Value.t
+  | V of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_var : t -> bool
+
+(** [matches t p] checks [t ≍ p] at the term level: a variable matches only
+    ['_'] (a variable may or may not equal a constant, so the chase never
+    assumes it does); a constant matches ['_'] and the equal constant
+    pattern. *)
+val matches : t -> Cfds.Pattern.sym -> bool
+
+(** Fresh-variable generators.  Generators are explicit values so that each
+    decision procedure owns its own counter. *)
+type gen
+
+val make_gen : unit -> gen
+val fresh : gen -> t
+val pp : t Fmt.t

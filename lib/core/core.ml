@@ -1,0 +1,24 @@
+(** The public umbrella: one entry point re-exporting every subsystem of the
+    CFD propagation library.
+
+    - {!Relational} — data model (values, domains, schemas, instances),
+      full relational algebra, and the SPC/SPCU normal forms of Section 2.2.
+    - {!Cfds} — conditional functional dependencies: pattern tuples,
+      satisfaction, plain FDs (Section 2.1).
+    - {!Chase} — the chase engine extended to CFDs, tableau representations
+      of SPC views, and finite-domain instantiation (appendix).
+    - {!Propagation} — the paper's contribution: the propagation decision
+      procedures of Section 3 ([Propagate], [Emptiness]), CFD implication /
+      consistency / minimal covers, and the [PropCFD_SPC] propagation-cover
+      algorithm of Section 4 ([Propcover]).
+    - {!Workload} — the deterministic generators of Section 5.
+    - {!Reductions} — the 3SAT hardness gadget of Theorem 3.2.
+    - {!Syntax} — a concrete syntax for schemas, CFDs and views. *)
+
+module Relational = Relational
+module Cfds = Cfds
+module Chase = Chase
+module Propagation = Propagation
+module Workload = Workload
+module Reductions = Reductions
+module Syntax = Syntax

@@ -1,0 +1,18 @@
+open Relational
+module Fd = Cfds.Fd
+
+let fd_projection_cover fds ~onto =
+  Fd.minimal_cover (Fd.project_cover_closure fds ~onto)
+
+let rbr_projection_cover rel fds ~all_attrs ~onto =
+  let sigma = List.concat_map Fd.to_cfds fds in
+  let sigma = List.map (fun c -> Cfds.Cfd.with_rel c rel) sigma in
+  let drop_attrs = List.filter (fun a -> not (List.mem a onto)) all_attrs in
+  fst (Rbr.reduce sigma ~drop_attrs)
+
+let agree schema baseline rbr =
+  let baseline_cfds =
+    List.concat_map Fd.to_cfds baseline
+    |> List.map (fun c -> Cfds.Cfd.with_rel c (Schema.relation_name schema))
+  in
+  Implication.equivalent schema baseline_cfds rbr

@@ -1,0 +1,26 @@
+(** The textbook baseline for propagation covers of FDs through projection
+    views (Section 4.1): compute the closure of the source FDs and project
+    it onto the view attributes.  Always exponential — Example 4.1 exhibits
+    a family where every cover is necessarily exponential, but on typical
+    inputs this method wastes the exponential cost anyway, which is the
+    motivation for RBR.  Used by the ablation bench. *)
+
+open Relational
+
+(** [fd_projection_cover fds ~onto] is the baseline cover (every
+    [X ⊆ onto] with [X → X+ ∩ onto]), minimised.
+    Raises [Invalid_argument] when [|onto| > 24]. *)
+val fd_projection_cover : Cfds.Fd.t list -> onto:string list -> Cfds.Fd.t list
+
+(** [rbr_projection_cover rel fds ~all_attrs ~onto] computes the same cover
+    via RBR (dropping [all_attrs − onto]), as CFDs. *)
+val rbr_projection_cover :
+  string ->
+  Cfds.Fd.t list ->
+  all_attrs:string list ->
+  onto:string list ->
+  Cfds.Cfd.t list
+
+(** [agree schema baseline rbr] checks the two covers are equivalent (mutual
+    implication over [schema]). *)
+val agree : Schema.relation -> Cfds.Fd.t list -> Cfds.Cfd.t list -> bool

@@ -1,0 +1,154 @@
+open Relational
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+type eq_class = {
+  attrs : string list;
+  key : Value.t option;
+}
+
+type t =
+  | Classes of eq_class list
+  | Bottom
+
+exception Inconsistent
+
+(* Union-find over attribute names with an optional constant key per root. *)
+module Uf = struct
+  type t = {
+    parent : (string, string) Hashtbl.t;
+    keys : (string, Value.t) Hashtbl.t;
+  }
+
+  let create attrs =
+    let parent = Hashtbl.create 32 in
+    List.iter (fun a -> Hashtbl.replace parent a a) attrs;
+    { parent; keys = Hashtbl.create 16 }
+
+  let rec find t a =
+    let p = Hashtbl.find t.parent a in
+    if String.equal p a then a
+    else begin
+      let r = find t p in
+      Hashtbl.replace t.parent a r;
+      r
+    end
+
+  let key t a = Hashtbl.find_opt t.keys (find t a)
+
+  let set_key t a v =
+    let r = find t a in
+    match Hashtbl.find_opt t.keys r with
+    | Some w -> if not (Value.equal v w) then raise Inconsistent else false
+    | None ->
+      Hashtbl.replace t.keys r v;
+      true
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if String.equal ra rb then false
+    else begin
+      let ka = Hashtbl.find_opt t.keys ra and kb = Hashtbl.find_opt t.keys rb in
+      (match ka, kb with
+       | Some x, Some y when not (Value.equal x y) -> raise Inconsistent
+       | _ -> ());
+      Hashtbl.replace t.parent rb ra;
+      (match ka, kb with
+       | None, Some y -> Hashtbl.replace t.keys ra y
+       | _ -> ());
+      true
+    end
+end
+
+let compute ~body ~selection ~sigma =
+  let names = List.map Attribute.name body in
+  let uf = Uf.create names in
+  try
+    (* Seed with the selection condition F (Lemma 4.2). *)
+    List.iter
+      (function
+        | Spc.Sel_eq (a, b) -> ignore (Uf.union uf a b)
+        | Spc.Sel_const (a, v) -> ignore (Uf.set_key uf a v))
+      selection;
+    (* Close under CFDs whose LHS is fully keyed: all tuples then share the
+       same LHS value matching the pattern, so a constant RHS pattern pins
+       the RHS column. *)
+    let fires cfd =
+      (not (C.is_attr_eq cfd))
+      && List.for_all
+           (fun (a, p) ->
+             match Uf.key uf a with
+             | None -> false
+             | Some v -> P.matches v p)
+           cfd.C.lhs
+    in
+    let step () =
+      List.fold_left
+        (fun changed cfd ->
+          if C.is_attr_eq cfd then
+            match cfd.C.lhs, cfd.C.rhs with
+            | [ (a, _) ], (b, _) -> Uf.union uf a b || changed
+            | _ -> changed
+          else
+            match snd cfd.C.rhs with
+            | P.Const v when fires cfd -> Uf.set_key uf (fst cfd.C.rhs) v || changed
+            | P.Const _ | P.Wild | P.Svar -> changed)
+        false sigma
+    in
+    let rec loop () = if step () then loop () in
+    loop ();
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let r = Uf.find uf a in
+        Hashtbl.replace groups r
+          (a :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+      names;
+    let classes =
+      Hashtbl.fold
+        (fun r members acc ->
+          { attrs = List.sort String.compare members; key = Uf.key uf r } :: acc)
+        groups []
+    in
+    Classes
+      (List.sort (fun a b -> compare a.attrs b.attrs) classes)
+  with Inconsistent -> Bottom
+
+let class_of classes a = List.find_opt (fun c -> List.mem a c.attrs) classes
+
+let representatives classes ~prefer =
+  List.concat_map
+    (fun c ->
+      let rep =
+        match List.find_opt (fun a -> List.mem a prefer) c.attrs with
+        | Some a -> a
+        | None -> List.hd c.attrs
+      in
+      List.map (fun a -> (a, rep)) c.attrs)
+    classes
+
+let to_cfds ~view ~y classes =
+  List.concat_map
+    (fun c ->
+      let members = List.filter (fun a -> List.mem a y) c.attrs in
+      match c.key with
+      | Some v -> List.map (fun a -> C.const_binding view a v) members
+      | None ->
+        let rec pairs = function
+          | [] -> []
+          | a :: rest -> List.map (fun b -> C.attr_eq view a b) rest @ pairs rest
+        in
+        pairs members)
+    classes
+
+let pp ppf = function
+  | Bottom -> Fmt.string ppf "bottom"
+  | Classes cs ->
+    let pp_class ppf c =
+      Fmt.pf ppf "{%a}%a"
+        Fmt.(list ~sep:(any ", ") string)
+        c.attrs
+        Fmt.(option (any "=" ++ Value.pp))
+        c.key
+    in
+    Fmt.(list ~sep:(any "; ") pp_class) ppf cs

@@ -1,0 +1,16 @@
+
+let run ?strategy schema sigma =
+  let view = Implication.identity_view schema in
+  Emptiness.check_spc ?strategy view ~sigma
+
+let satisfiable schema sigma =
+  match run ~strategy:Propagate.Chase_only schema sigma with
+  | Emptiness.Empty -> false
+  | Emptiness.Nonempty _ -> true
+  | Emptiness.Budget_exceeded -> assert false
+
+let satisfiable_general ?(budget = 200_000) schema sigma =
+  match run ~strategy:(Propagate.Auto { budget }) schema sigma with
+  | Emptiness.Empty -> Ok false
+  | Emptiness.Nonempty _ -> Ok true
+  | Emptiness.Budget_exceeded -> Error `Budget_exceeded

@@ -1,0 +1,18 @@
+(** Consistency (satisfiability) of a set of CFDs: does a nonempty instance
+    satisfying [Σ] exist?  A special case of the complement of the emptiness
+    problem with the identity view (Section 3.3).  NP-complete in the
+    general setting, PTIME without finite-domain attributes. *)
+
+open Relational
+
+(** [satisfiable schema sigma] — infinite-domain setting (single-tuple
+    chase). *)
+val satisfiable : Schema.relation -> Cfds.Cfd.t list -> bool
+
+(** [satisfiable_general ?budget schema sigma] — general setting, by
+    finite-domain instantiation. *)
+val satisfiable_general :
+  ?budget:int ->
+  Schema.relation ->
+  Cfds.Cfd.t list ->
+  (bool, [ `Budget_exceeded ]) Stdlib.result

@@ -1,0 +1,80 @@
+open Relational
+module Term = Chase.Term
+module Engine = Chase.Engine
+module Tableau = Chase.Tableau
+module Instantiate = Chase.Instantiate
+
+type result =
+  | Empty
+  | Nonempty of Database.t
+  | Budget_exceeded
+
+let branch_nonempty ~strategy ~budget_left ~sigma ~schema ~avoid gen branch =
+  match Tableau.of_spc ~gen branch with
+  | Error `Statically_empty -> `Empty
+  | Ok t ->
+    let rows = t.Tableau.rows in
+    if rows = [] then
+      (* A pure constant view is nonempty on every database. *)
+      `Nonempty (Database.empty schema)
+    else
+      let chase_once rows =
+        match Engine.run sigma rows with
+        | Engine.Failed -> `Empty
+        | Engine.Fixpoint (inst, _) ->
+          `Nonempty
+            (Engine.to_database schema inst ~extra_avoid:avoid ~var_avoid:[]
+               ~distinct_vars:[])
+      in
+      (match strategy with
+       | Propagate.Chase_only -> chase_once rows
+       | Propagate.Auto _ | Propagate.Enumerate _ ->
+         let fvars = Instantiate.finite_vars rows in
+         if fvars = [] then chase_once rows
+         else
+           let rec go seq =
+             if !budget_left <= 0 then `Budget
+             else
+               match seq () with
+               | Seq.Nil -> `Empty
+               | Seq.Cons ((_, rows), rest) ->
+                 decr budget_left;
+                 (match chase_once rows with
+                  | `Nonempty w -> `Nonempty w
+                  | `Empty -> go rest
+                  | `Budget -> `Budget)
+           in
+           go (Instantiate.enumerate fvars rows))
+
+let check ?(strategy = Propagate.default_strategy) view ~sigma =
+  let schema = Spcu.source view in
+  let avoid =
+    List.sort_uniq Value.compare
+      (List.concat_map
+         (fun c ->
+           List.filter_map
+             (fun (_, p) ->
+               match p with Cfds.Pattern.Const v -> Some v | _ -> None)
+             (c.Cfds.Cfd.lhs @ [ c.Cfds.Cfd.rhs ]))
+         sigma)
+  in
+  let budget_left =
+    ref
+      (match strategy with
+       | Propagate.Auto { budget } | Propagate.Enumerate { budget } -> budget
+       | Propagate.Chase_only -> max_int)
+  in
+  let gen = Term.make_gen () in
+  let rec go = function
+    | [] -> Empty
+    | b :: rest ->
+      (match
+         branch_nonempty ~strategy ~budget_left ~sigma ~schema ~avoid gen b
+       with
+       | `Nonempty w -> Nonempty w
+       | `Empty -> go rest
+       | `Budget -> Budget_exceeded)
+  in
+  go view.Spcu.branches
+
+let check_spc ?strategy v ~sigma = check ?strategy (Spcu.of_spc v) ~sigma

@@ -1,0 +1,25 @@
+(** The emptiness problem for CFDs and views (Section 3.3): given [Σ] and a
+    view [V], is [V(D)] empty for every [D |= Σ]?
+
+    Example 3.1 shows how a source CFD forcing a constant column can make a
+    selection condition unsatisfiable.  The problem is coNP-complete in the
+    general setting (Theorem 3.7) and PTIME without finite-domain attributes
+    (Theorem 3.8); both procedures are single-copy tableau chases, with
+    finite-domain instantiation in the general case. *)
+
+open Relational
+
+type result =
+  | Empty
+  | Nonempty of Database.t
+      (** a witness [D |= Σ] with [V(D) ≠ ∅] *)
+  | Budget_exceeded
+
+(** [check ?strategy view sigma] decides whether [view] is always empty on
+    [Σ]-satisfying sources.  The strategy semantics match {!Propagate}
+    ([Chase_only] is complete exactly without finite-domain variables). *)
+val check :
+  ?strategy:Propagate.strategy -> Spcu.t -> sigma:Cfds.Cfd.t list -> result
+
+val check_spc :
+  ?strategy:Propagate.strategy -> Spc.t -> sigma:Cfds.Cfd.t list -> result

@@ -1,0 +1,211 @@
+open Relational
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+type pat =
+  | Wild
+  | Const of Value.t
+
+type rule =
+  | Standard of {
+      lhs : (int * pat) array;
+      rhs_pos : int;
+      rhs : pat;
+    }
+  | Attr_eq of int * int
+
+type compiled = {
+  schema : Schema.relation;
+  arity : int;
+  rules : rule array;
+}
+
+let compile_pat = function
+  | P.Wild -> Wild
+  | P.Const v -> Const v
+  | P.Svar -> invalid_arg "Fast_impl: loose Svar pattern"
+
+let compile schema sigma =
+  let pos a = Schema.attr_index schema a in
+  let rule c =
+    if C.is_attr_eq c then
+      match c.C.lhs, c.C.rhs with
+      | [ (a, _) ], (b, _) -> Attr_eq (pos a, pos b)
+      | _ -> assert false
+    else
+      Standard
+        {
+          lhs =
+            Array.of_list
+              (List.map (fun (a, p) -> (pos a, compile_pat p)) c.C.lhs);
+          rhs_pos = pos (fst c.C.rhs);
+          rhs = compile_pat (snd c.C.rhs);
+        }
+  in
+  { schema; arity = Schema.arity schema; rules = Array.of_list (List.map rule sigma) }
+
+(* Union-find over cells with optional constant binding at roots.  Failure
+   (two distinct constants) raises. *)
+exception Conflict
+
+type uf = {
+  parent : int array;
+  const : Value.t option array;
+}
+
+let uf_create n = { parent = Array.init n (fun i -> i); const = Array.make n None }
+
+let rec find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find u p in
+    u.parent.(i) <- r;
+    r
+  end
+
+(* Returns true if something changed. *)
+let union u i j =
+  let ri = find u i and rj = find u j in
+  if ri = rj then false
+  else begin
+    (match u.const.(ri), u.const.(rj) with
+     | Some a, Some b when not (Value.equal a b) -> raise Conflict
+     | _ -> ());
+    let keep, drop = if ri < rj then (ri, rj) else (rj, ri) in
+    u.parent.(drop) <- keep;
+    (match u.const.(keep), u.const.(drop) with
+     | None, Some v -> u.const.(keep) <- Some v
+     | _ -> ());
+    u.const.(drop) <- None;
+    true
+  end
+
+let bind u i v =
+  let r = find u i in
+  match u.const.(r) with
+  | Some w -> if Value.equal w v then false else raise Conflict
+  | None ->
+    u.const.(r) <- Some v;
+    true
+
+(* The chase over [rows] row-offsets of one shared cell space. *)
+(* Two cells are equal when they share a root or are both bound to the
+   same constant. *)
+let cells_equal u i j =
+  let ri = find u i and rj = find u j in
+  ri = rj
+  ||
+  match u.const.(ri), u.const.(rj) with
+  | Some a, Some b -> Value.equal a b
+  | _ -> false
+
+let chase compiled u rows =
+  let premise_holds row row' lhs =
+    Array.for_all
+      (fun (p, pat) ->
+        cells_equal u (row + p) (row' + p)
+        &&
+        match pat with
+        | Wild -> true
+        | Const v ->
+          (match u.const.(find u (row + p)) with
+           | Some w -> Value.equal v w
+           | None -> false))
+      lhs
+  in
+  let apply_rule rule changed =
+    match rule with
+    | Attr_eq (a, b) ->
+      List.fold_left (fun ch row -> union u (row + a) (row + b) || ch) changed rows
+    | Standard { lhs; rhs_pos; rhs } ->
+      let step row row' ch =
+        if premise_holds row row' lhs then
+          match rhs with
+          | Wild -> union u (row + rhs_pos) (row' + rhs_pos) || ch
+          | Const v ->
+            let c1 = bind u (row + rhs_pos) v in
+            let c2 = bind u (row' + rhs_pos) v in
+            c1 || c2 || ch
+        else ch
+      in
+      let rec pairs rs changed =
+        match rs with
+        | [] -> changed
+        | r :: rest ->
+          let changed = step r r changed in
+          let changed = List.fold_left (fun ch r' -> step r r' ch) changed rest in
+          pairs rest changed
+      in
+      pairs rows changed
+  in
+  let rec loop () =
+    if Array.fold_left (fun ch rule -> apply_rule rule ch) false compiled.rules
+    then loop ()
+  in
+  loop ()
+
+(* Safe RHS: the term respects the pattern binding in every realisation. *)
+let rhs_safe u cell = function
+  | Wild -> true
+  | Const v ->
+    (match u.const.(find u cell) with
+     | Some w -> Value.equal v w
+     | None -> false)
+
+let implies_attr_eq compiled a b =
+  let pos x = Schema.attr_index compiled.schema x in
+  let u = uf_create compiled.arity in
+  try
+    chase compiled u [ 0 ];
+    cells_equal u (pos a) (pos b)
+  with Conflict -> true
+
+let implies_standard compiled phi =
+  let pos x = Schema.attr_index compiled.schema x in
+  let n = compiled.arity in
+  let rhs_pos = pos (fst phi.C.rhs) in
+  let rhs = compile_pat (snd phi.C.rhs) in
+  (* Pair check: two tuples agreeing on (and matching) the LHS. *)
+  let pair_ok =
+    let u = uf_create (2 * n) in
+    try
+      List.iter
+        (fun (a, p) ->
+          let i = pos a in
+          match compile_pat p with
+          | Const v ->
+            ignore (bind u i v);
+            ignore (bind u (n + i) v)
+          | Wild -> ignore (union u i (n + i)))
+        phi.C.lhs;
+      chase compiled u [ 0; n ];
+      cells_equal u rhs_pos (n + rhs_pos) && rhs_safe u rhs_pos rhs
+    with Conflict -> true
+  in
+  pair_ok
+  &&
+  (* Single-tuple check: the (t, t) binding for a constant RHS. *)
+  match rhs with
+  | Wild -> true
+  | Const _ ->
+    let u = uf_create n in
+    (try
+       List.iter
+         (fun (a, p) ->
+           match compile_pat p with
+           | Const v -> ignore (bind u (pos a) v)
+           | Wild -> ())
+         phi.C.lhs;
+       chase compiled u [ 0 ];
+       rhs_safe u rhs_pos rhs
+     with Conflict -> true)
+
+let implies compiled phi =
+  C.is_trivial phi
+  ||
+  if C.is_attr_eq phi then
+    match phi.C.lhs, phi.C.rhs with
+    | [ (a, _) ], (b, _) -> implies_attr_eq compiled a b
+    | _ -> assert false
+  else implies_standard compiled phi

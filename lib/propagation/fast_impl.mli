@@ -1,0 +1,21 @@
+(** A specialised implication kernel for the infinite-domain setting.
+
+    [MinCover] and the final step of [PropCFD_SPC] decide [Σ |= φ]
+    O(|Σ|²) times over a single relation; the generic tableau machinery of
+    {!Propagate} is far too heavyweight there.  This kernel runs the same
+    two-row + single-row chase (so it agrees with {!Propagate} on the
+    identity view by construction — the test suite cross-validates this)
+    over int-indexed union-find arrays, with the CFD set compiled to
+    positional form once. *)
+
+open Relational
+
+type compiled
+
+(** [compile schema sigma] resolves every CFD of [sigma] to attribute
+    positions of [schema].  Raises [Invalid_argument] on unknown
+    attributes. *)
+val compile : Schema.relation -> Cfds.Cfd.t list -> compiled
+
+(** [implies compiled phi] decides [Σ |= φ] (infinite-domain setting). *)
+val implies : compiled -> Cfds.Cfd.t -> bool

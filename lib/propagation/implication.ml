@@ -1,0 +1,47 @@
+open Relational
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let identity_view schema =
+  let name = Schema.relation_name schema in
+  let source = Schema.db [ schema ] in
+  let atom = Spc.atom source name (Schema.attribute_names schema) in
+  Spc.make_exn ~source ~name ~atoms:[ atom ]
+    ~projection:(Schema.attribute_names schema) ()
+
+(* Cheap sound (incomplete) syntactic test: some ψ ∈ Σ subsumes φ — same
+   RHS with a ≤-stronger pattern, and ψ's LHS is a sub-pattern of φ's. *)
+let syntactic_implies sigma phi =
+  (not (C.is_attr_eq phi))
+  && List.exists
+       (fun psi ->
+         (not (C.is_attr_eq psi))
+         && String.equal psi.C.rel phi.C.rel
+         && String.equal (fst psi.C.rhs) (fst phi.C.rhs)
+         && P.leq (snd psi.C.rhs) (snd phi.C.rhs)
+         && List.for_all
+              (fun (a, pp) ->
+                match C.lhs_pattern phi a with
+                | Some pf -> P.leq pf pp
+                | None -> false)
+              psi.C.lhs)
+       sigma
+
+let implies schema sigma phi =
+  C.is_trivial phi
+  || syntactic_implies sigma phi
+  || Fast_impl.implies (Fast_impl.compile schema sigma) phi
+
+let implies_general ?(budget = 200_000) schema sigma phi =
+  if C.is_trivial phi || syntactic_implies sigma phi then Ok true
+  else
+    let view = identity_view schema in
+    match
+      Propagate.decide ~strategy:(Propagate.Auto { budget }) view ~sigma phi
+    with
+    | Propagate.Propagated -> Ok true
+    | Propagate.Not_propagated _ -> Ok false
+    | Propagate.Budget_exceeded -> Error `Budget_exceeded
+
+let equivalent schema s1 s2 =
+  List.for_all (implies schema s1) s2 && List.for_all (implies schema s2) s1

@@ -1,0 +1,72 @@
+open Relational
+module C = Cfds.Cfd
+
+let reduce_lhs schema compiled phi =
+  ignore schema;
+  if C.is_attr_eq phi then phi
+  else
+    let rec go phi tried =
+      let candidates =
+        List.filter (fun (a, _) -> not (List.mem a tried)) phi.C.lhs
+      in
+      match candidates with
+      | [] -> phi
+      | (a, _) :: _ ->
+        let smaller =
+          C.make phi.C.rel
+            (List.filter (fun (c, _) -> not (String.equal c a)) phi.C.lhs)
+            phi.C.rhs
+        in
+        if Fast_impl.implies compiled smaller then go smaller tried
+        else go phi (a :: tried)
+    in
+    go phi []
+
+let minimal_cover schema sigma =
+  (* CFDs are interpreted over [schema], whatever relation name they carry
+     (RBR's pseudo body relation re-homes them). *)
+  let sigma = List.map (fun c -> C.with_rel c (Schema.relation_name schema)) sigma in
+  let sigma = List.map C.strip_redundant_wildcards sigma in
+  let sigma = List.filter (fun c -> not (C.is_trivial c)) sigma in
+  let sigma = List.sort_uniq C.compare (List.map C.canonical sigma) in
+  (* Minimise each LHS against the full current set: a smaller-LHS CFD is
+     stronger, so replacements preserve equivalence — and therefore testing
+     against the original (equivalent) set stays correct, which lets us
+     compile it once. *)
+  let compiled = Fast_impl.compile schema sigma in
+  let sigma = List.map (fun phi -> reduce_lhs schema compiled phi) sigma in
+  let sigma = List.sort_uniq C.compare sigma in
+  (* Drop CFDs implied by the others. *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | phi :: rest ->
+      let others = List.rev_append kept rest in
+      if Fast_impl.implies (Fast_impl.compile schema others) phi then
+        prune kept rest
+      else prune (phi :: kept) rest
+  in
+  prune [] sigma
+
+let minimal_cover_db db sigma =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let g = Option.value ~default:[] (Hashtbl.find_opt groups c.C.rel) in
+      Hashtbl.replace groups c.C.rel (c :: g))
+    sigma;
+  Schema.relations db
+  |> List.concat_map (fun rel ->
+         match Hashtbl.find_opt groups (Schema.relation_name rel) with
+         | Some g -> minimal_cover rel (List.rev g)
+         | None -> [])
+
+let prune_partitioned schema ~chunk sigma =
+  if chunk <= 0 then invalid_arg "Mincover.prune_partitioned: chunk <= 0";
+  let rec split acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | c :: rest ->
+      if n = chunk then split (List.rev current :: acc) [ c ] 1 rest
+      else split acc (c :: current) (n + 1) rest
+  in
+  let chunks = split [] [] 0 sigma in
+  List.concat_map (minimal_cover schema) chunks

@@ -1,0 +1,27 @@
+(** Minimal covers of CFD sets (Section 4.1, procedure [MinCover] of
+    ref [8]): an equivalent subset with no redundant CFDs and no redundant
+    LHS attributes.  Assumes the infinite-domain setting (implication is
+    then PTIME). *)
+
+open Relational
+
+(** [minimal_cover schema sigma] computes a minimal cover of [sigma]:
+
+    - trivial CFDs are removed (Section 4.1's nontriviality test);
+    - for each CFD [(X → A, tp)], LHS attributes [C] with
+      [Σ |= (X∖C → A, (tp\[X∖C\] ‖ tp\[A\]))] are removed;
+    - CFDs implied by the rest are removed.
+
+    All CFDs must be over [schema] (same relation). *)
+val minimal_cover : Schema.relation -> Cfds.Cfd.t list -> Cfds.Cfd.t list
+
+(** [minimal_cover_db db sigma] groups [sigma] by relation and covers each
+    group independently (CFDs on different relations never interact). *)
+val minimal_cover_db : Schema.db -> Cfds.Cfd.t list -> Cfds.Cfd.t list
+
+(** [prune_partitioned schema ~chunk sigma] is the optimisation of
+    Section 4.3: partition [sigma] into chunks of size [chunk] and minimise
+    each chunk independently — removes redundancy "to an extent" in
+    [O(|Σ|·chunk²)] time instead of [O(|Σ|³)]. *)
+val prune_partitioned :
+  Schema.relation -> chunk:int -> Cfds.Cfd.t list -> Cfds.Cfd.t list

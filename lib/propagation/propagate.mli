@@ -1,0 +1,59 @@
+(** The dependency propagation problem (Section 3): given a view [V] over a
+    source schema [R], source CFDs [Σ] and a view CFD [φ], decide
+    [Σ |=_V φ] — for every [D |= Σ], does [V(D) |= φ] hold?
+
+    The decision procedures follow the appendix proofs:
+
+    - two homomorphic copies of the view tableau are built, the LHS
+      attributes of [φ] unified across them (mappings ρ1/ρ2 of the proof of
+      Theorem 3.1), and the pair is chased by [Σ];
+    - a single-copy chase additionally checks violations by the pair
+      [(t, t)] — constant-RHS bindings and the attribute-equality form;
+    - in the general setting, variables over finite-domain columns are
+      instantiated exhaustively (Theorems 3.2/3.3), which is where the coNP
+      upper bounds come from;
+    - for SPCU views every pair of branches is checked (the k² combinations
+      of the proof of Theorem 3.1(a.2)). *)
+
+open Relational
+
+(** How finite-domain variables are handled.
+
+    [Auto] chases directly when the constructed instance has no
+    finite-domain variables, or when the PTIME special case of
+    Theorem 3.3(a,b) applies (all source dependencies are plain FDs, at most
+    two rows per source relation, every touched finite domain has ≥ 3
+    members, and the view CFD has a wildcard RHS); otherwise it enumerates
+    instantiations up to the budget.
+
+    [Chase_only] skips instantiation unconditionally — complete exactly in
+    the infinite-domain setting; this is the PTIME algorithm of
+    Theorems 3.1/3.5.
+
+    [Enumerate budget] forces exhaustive instantiation. *)
+type strategy =
+  | Auto of { budget : int }
+  | Chase_only
+  | Enumerate of { budget : int }
+
+val default_strategy : strategy
+
+type decision =
+  | Propagated
+  | Not_propagated of Database.t
+      (** a witness source database [D] with [D |= Σ] and [V(D) ⊭ φ] *)
+  | Budget_exceeded  (** the instantiation budget ran out before a decision *)
+
+(** [decide ?strategy v ~sigma phi] decides [Σ |=_V φ] for an SPC view.
+    Raises [Invalid_argument] if [φ] is not over the view schema. *)
+val decide :
+  ?strategy:strategy -> Spc.t -> sigma:Cfds.Cfd.t list -> Cfds.Cfd.t -> decision
+
+(** [decide_spcu] is [decide] for SPCU views. *)
+val decide_spcu :
+  ?strategy:strategy -> Spcu.t -> sigma:Cfds.Cfd.t list -> Cfds.Cfd.t -> decision
+
+(** [is_propagated] collapses the decision to a boolean; [Budget_exceeded]
+    raises [Failure]. *)
+val is_propagated :
+  ?strategy:strategy -> Spcu.t -> sigma:Cfds.Cfd.t list -> Cfds.Cfd.t -> bool

@@ -1,0 +1,224 @@
+open Relational
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+type options = {
+  prune_chunk : int option;
+  max_intermediate : int option;
+  skip_initial_mincover : bool;
+  rbr_order : [ `Min_degree | `Given ];
+}
+
+(* The paper's own implementation partitions the working set and minimises
+   each chunk (Section 4.3); 64 keeps the pruning cost linear in |Γ|. *)
+let default_options =
+  {
+    prune_chunk = Some 64;
+    max_intermediate = None;
+    skip_initial_mincover = false;
+    rbr_order = `Min_degree;
+  }
+
+type result = {
+  cover : C.t list;
+  complete : bool;
+  always_empty : bool;
+}
+
+let rename_sources (v : Spc.t) sigma =
+  List.concat_map
+    (fun (a : Spc.atom) ->
+      let base = Schema.find v.Spc.source a.Spc.base in
+      let map =
+        List.map2
+          (fun orig renamed -> (Attribute.name orig, Attribute.name renamed))
+          (Schema.attributes base) a.Spc.attrs
+      in
+      sigma
+      |> List.filter (fun c -> String.equal c.C.rel a.Spc.base)
+      |> List.filter_map (fun c ->
+             Option.map (fun c -> C.with_rel c v.Spc.name) (C.rename_attrs c map)))
+    v.Spc.atoms
+
+(* The cover of Lemma 4.5: two conflicting constant CFDs on some view
+   attribute, from which every view CFD follows because the view is empty. *)
+let empty_view_cover (v : Spc.t) =
+  let schema = Spc.view_schema v in
+  let pick attr =
+    let d = Attribute.domain attr in
+    if Domain.is_finite d then
+      match Domain.members d with
+      | a :: b :: _ -> Some (a, b)
+      | _ -> None
+    else
+      match Domain.fresh_constants d 2 ~avoid:[] with
+      | [ a; b ] -> Some (a, b)
+      | _ -> None
+  in
+  let rec find = function
+    | [] ->
+      invalid_arg "Propcover: no view attribute admits two distinct values"
+    | attr :: rest ->
+      (match pick attr with
+       | Some (a, b) ->
+         let n = Attribute.name attr in
+         [ C.const_binding v.Spc.name n a; C.const_binding v.Spc.name n b ]
+       | None -> find rest)
+  in
+  find (Schema.attributes schema)
+
+(* Rewrite an empty-LHS constant CFD (∅ → A, (‖ a)), produced internally
+   for keyed classes, into the paper's (A → A, (_ ‖ a)) form. *)
+let normalise_const_form c =
+  if c.C.lhs = [] then
+    match c.C.rhs with
+    | a, P.Const v -> C.const_binding c.C.rel a v
+    | _ -> c
+  else c
+
+let cover ?(options = default_options) (v : Spc.t) sigma =
+  List.iter
+    (fun c ->
+      if not (Schema.mem v.Spc.source c.C.rel) then
+        invalid_arg
+          (Printf.sprintf "Propcover: CFD on unknown source relation %s" c.C.rel))
+    sigma;
+  let y = v.Spc.projection in
+  let view_schema = Spc.view_schema v in
+  (* Line 1: Σ := MinCover(Σ). *)
+  let sigma =
+    if options.skip_initial_mincover then sigma
+    else Mincover.minimal_cover_db v.Spc.source sigma
+  in
+  (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
+  let sigma_v = rename_sources v sigma in
+  (* Line 2: EQ := ComputeEQ. *)
+  let body = Spc.body_attrs v in
+  match
+    Compute_eq.compute ~body ~selection:v.Spc.selection ~sigma:sigma_v
+  with
+  | Compute_eq.Bottom ->
+    { cover = empty_view_cover v; complete = true; always_empty = true }
+  | Compute_eq.Classes classes ->
+    (* Lines 7-10: representative substitution; keep Y members as reps. *)
+    let rep_map = Compute_eq.representatives classes ~prefer:y in
+    let sigma_v =
+      List.filter_map (fun c -> C.rename_attrs c rep_map) sigma_v
+    in
+    (* Key CFDs (∅ → rep, (‖ key)) let RBR resolve away keyed attributes
+       that are not projected (Lemma 4.3 / domain constraints as CFDs). *)
+    let rep_of a =
+      match List.assoc_opt a rep_map with Some r -> r | None -> a
+    in
+    let key_cfds =
+      List.filter_map
+        (fun (cl : Compute_eq.eq_class) ->
+          match cl.Compute_eq.key with
+          | Some value ->
+            Some
+              (C.make v.Spc.name []
+                 (rep_of (List.hd cl.Compute_eq.attrs), P.Const value))
+          | None -> None)
+        classes
+    in
+    let sigma_v = List.sort_uniq C.compare (key_cfds @ sigma_v) in
+    (* Line 11: RBR over the non-projected representative attributes. *)
+    let body_reps =
+      List.sort_uniq String.compare (List.map (fun a -> rep_of (Attribute.name a)) body)
+    in
+    let drop_attrs = List.filter (fun a -> not (List.mem a y)) body_reps in
+    let pseudo_schema =
+      Schema.relation (v.Spc.name ^ "#body")
+        (List.map
+           (fun n ->
+             match
+               List.find_opt (fun a -> String.equal (Attribute.name a) n) body
+             with
+             | Some a -> Attribute.rename a n
+             | None -> assert false)
+           body_reps)
+    in
+    let prune =
+      Option.map (fun chunk -> (pseudo_schema, chunk)) options.prune_chunk
+    in
+    let sigma_c, completeness =
+      Rbr.reduce ?prune ?max_size:options.max_intermediate
+        ~order:options.rbr_order sigma_v ~drop_attrs
+    in
+    (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)
+    let sigma_d = Compute_eq.to_cfds ~view:v.Spc.name ~y classes in
+    let rc_cfds =
+      List.map
+        (fun (a, value) -> C.const_binding v.Spc.name (Attribute.name a) value)
+        v.Spc.constants
+    in
+    (* Line 13: a minimal cover of everything, over the view schema. *)
+    let all =
+      List.map normalise_const_form (sigma_c @ sigma_d @ rc_cfds)
+    in
+    let cover = Mincover.minimal_cover view_schema all in
+    {
+      cover;
+      complete = (match completeness with `Complete -> true | `Truncated -> false);
+      always_empty = false;
+    }
+
+let is_propagated_via_cover v sigma phi =
+  let r = cover v sigma in
+  Implication.implies (Spc.view_schema v) r.cover phi
+
+(* Condition a branch-cover CFD on the branch's constant columns: within
+   the branch those columns are fixed, on the union the condition must be
+   spelled out. *)
+let condition_on_constants (b : Spc.t) phi =
+  if C.is_attr_eq phi then None
+  else
+    let extra =
+      List.filter_map
+        (fun (a, value) ->
+          let n = Attribute.name a in
+          if List.mem_assoc n phi.C.lhs || String.equal n (fst phi.C.rhs) then
+            None
+          else Some (n, P.Const value))
+        b.Spc.constants
+    in
+    if extra = [] then None
+    else Some (C.make phi.C.rel (extra @ phi.C.lhs) phi.C.rhs)
+
+let cover_spcu ?(options = default_options) (view : Spcu.t) sigma =
+  let branch_results =
+    List.map (fun b -> (b, cover ~options b sigma)) view.Spcu.branches
+  in
+  if List.for_all (fun (_, r) -> r.always_empty) branch_results then
+    (* Every branch is empty: the union is, too. *)
+    {
+      cover = empty_view_cover (List.hd view.Spcu.branches);
+      complete = true;
+      always_empty = true;
+    }
+  else begin
+    let candidates =
+      List.concat_map
+        (fun ((b : Spc.t), r) ->
+          if r.always_empty then []
+          else
+            r.cover
+            @ List.filter_map (fun phi -> condition_on_constants b phi) r.cover)
+        branch_results
+    in
+    let candidates = List.sort_uniq C.compare (List.map C.canonical candidates) in
+    let certified =
+      List.filter
+        (fun phi ->
+          match Propagate.decide_spcu view ~sigma phi with
+          | Propagate.Propagated -> true
+          | Propagate.Not_propagated _ | Propagate.Budget_exceeded -> false)
+        candidates
+    in
+    let schema = Spcu.view_schema view in
+    {
+      cover = Mincover.minimal_cover schema certified;
+      complete = List.for_all (fun (_, r) -> r.complete) branch_results;
+      always_empty = false;
+    }
+  end

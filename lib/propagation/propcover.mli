@@ -1,0 +1,63 @@
+(** Algorithm [PropCFD_SPC] (Fig. 2): compute a minimal cover of {e all}
+    CFDs propagated from source CFDs [Σ] through an SPC view
+    [π_Y(Rc × σ_F(R1 × … × Rn))] — the propagation cover problem of
+    Section 4.  Assumes the infinite-domain setting (as does the paper's
+    Section 4).
+
+    Pipeline: [MinCover(Σ)] → [ComputeEQ] over [F] and the renamed sources
+    (⊥ short-circuits to the always-empty-view cover of Lemma 4.5) →
+    renaming per product factor → representative substitution and key CFDs
+    for the domain constraints (Lemmas 4.2/4.3) → [RBR] over the dropped
+    attributes → [EQ2CFD] → final [MinCover]. *)
+
+open Relational
+
+type options = {
+  prune_chunk : int option;
+      (** partitioned-MinCover pruning inside RBR (Section 4.3's
+          optimisation); [None] disables it *)
+  max_intermediate : int option;
+      (** heuristic bound on the working set; exceeded → truncated cover *)
+  skip_initial_mincover : bool;
+      (** skip line 1 of Fig. 2 (for ablation) *)
+  rbr_order : [ `Min_degree | `Given ];
+      (** RBR elimination order; see {!Rbr.reduce} (for ablation) *)
+}
+
+val default_options : options
+
+type result = {
+  cover : Cfds.Cfd.t list;  (** CFDs over the view schema *)
+  complete : bool;  (** [false] iff the heuristic bound was hit *)
+  always_empty : bool;  (** [ComputeEQ] returned ⊥ (Lemma 4.5) *)
+}
+
+(** [cover ?options v sigma] runs [PropCFD_SPC].
+    Raises [Invalid_argument] when some source CFD is not defined on a
+    source relation of [v]. *)
+val cover : ?options:options -> Spc.t -> Cfds.Cfd.t list -> result
+
+(** [is_propagated_via_cover v sigma phi] decides [Σ |=_V φ] by computing
+    the cover and testing [Γ |= φ] — the indirect decision procedure
+    described at the start of Section 4.  Used to cross-validate
+    {!Propagate.decide}. *)
+val is_propagated_via_cover : Spc.t -> Cfds.Cfd.t list -> Cfds.Cfd.t -> bool
+
+(** [cover_spcu view sigma] — the "supporting union" extension sketched in
+    Section 7, as a {e certified heuristic}: candidate CFDs are drawn from
+    each branch's minimal cover, both as-is and conditioned on the branch's
+    constant columns (within a branch the condition is implicit; on the
+    union it must be explicit — exactly how f2/f3 become ϕ2/ϕ3 in
+    Example 1.1); every candidate is then checked with the exact SPCU
+    decision procedure ({!Propagate.decide_spcu}) and the survivors are
+    minimised.
+
+    The result is {e sound} (every returned CFD is propagated) but only
+    complete relative to the candidate set — computing provably-minimal
+    SPCU covers is open. *)
+val cover_spcu : ?options:options -> Spcu.t -> Cfds.Cfd.t list -> result
+
+(** [rename_sources v sigma] is the product-handling step alone (lines 5–6
+    of Fig. 2): every source CFD re-expressed over each matching renamed
+    atom, exposed for tests. *)
+val rename_sources : Spc.t -> Cfds.Cfd.t list -> Cfds.Cfd.t list

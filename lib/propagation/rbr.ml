@@ -1,0 +1,111 @@
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let mentions a cfd = List.mem a (C.attrs cfd)
+
+let resolvent phi1 phi2 ~on:a =
+  if C.is_attr_eq phi1 || C.is_attr_eq phi2 then None
+  else if not (String.equal (fst phi1.C.rhs) a) then None
+  else
+    match C.lhs_pattern phi2 a with
+    | None -> None
+    | Some t2_a ->
+      let t1_a = snd phi1.C.rhs in
+      if not (P.leq t1_a t2_a) then None
+      else if List.exists (fun (w, _) -> String.equal w a) phi1.C.lhs then
+        (* The resolvent would reintroduce [a]. *)
+        None
+      else if String.equal (fst phi2.C.rhs) a then None
+      else
+        let w = phi1.C.lhs in
+        let z = List.filter (fun (c, _) -> not (String.equal c a)) phi2.C.lhs in
+        let exception Undefined in
+        (try
+           let merged =
+             List.fold_left
+               (fun acc (c, pz) ->
+                 match List.assoc_opt c acc with
+                 | None -> (c, pz) :: acc
+                 | Some pw ->
+                   (match P.meet pw pz with
+                    | Some m -> (c, m) :: List.remove_assoc c acc
+                    | None -> raise Undefined))
+               (List.rev w) z
+           in
+           let cfd = C.make phi1.C.rel (List.rev merged) phi2.C.rhs in
+           if C.is_trivial cfd then None else Some cfd
+         with Undefined -> None)
+
+let drop sigma a =
+  let keep, involved = List.partition (fun c -> not (mentions a c)) sigma in
+  let resolvents =
+    List.concat_map
+      (fun phi1 ->
+        List.filter_map (fun phi2 -> resolvent phi1 phi2 ~on:a) involved)
+      involved
+  in
+  let canon = List.map C.canonical (keep @ resolvents) in
+  List.sort_uniq C.compare canon
+
+let reduce ?prune ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
+  (* Constant-RHS CFDs shed their wildcard LHS attributes first: otherwise a
+     projected-away wildcard attribute would drag an equivalent, still
+     propagated CFD out of the cover. *)
+  let sigma = List.map C.strip_redundant_wildcards sigma in
+  (* Adaptive pruning: resolution only hurts when the working set grows, so
+     the (linear, but not free) partitioned MinCover runs only once the set
+     has doubled since the last prune. *)
+  let last_pruned = ref (max 256 (List.length sigma)) in
+  let prune_set s =
+    match prune with
+    | Some (schema, chunk) when List.length s > 2 * !last_pruned ->
+      let s = Mincover.prune_partitioned schema ~chunk s in
+      last_pruned := max 256 (List.length s);
+      s
+    | Some _ | None -> s
+  in
+  (* Greedy min-degree elimination order: dropping the attribute with the
+     fewest involved CFDs first keeps the intermediate working set small —
+     the result is a cover whatever the order (Proposition 4.4). *)
+  let pick_next sigma remaining =
+    match order, remaining with
+    | `Given, a :: _ -> Some a
+    | `Given, [] -> None
+    | `Min_degree, _ ->
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun a ->
+            if Hashtbl.mem counts a || List.mem a remaining then
+              Hashtbl.replace counts a
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+          (C.attrs c))
+      sigma;
+    let degree a = Option.value ~default:0 (Hashtbl.find_opt counts a) in
+    List.fold_left
+      (fun best a ->
+        match best with
+        | None -> Some a
+        | Some b -> if degree a < degree b then Some a else best)
+      None remaining
+  in
+  let rec go sigma remaining =
+    match pick_next sigma remaining with
+    | None -> (sigma, `Complete)
+    | Some a ->
+      let rest = List.filter (fun b -> not (String.equal a b)) remaining in
+      let sigma = prune_set (drop sigma a) in
+      (match max_size with
+       | Some bound when List.length sigma > bound ->
+         (* Heuristic cut-off: return the sound subset already free of the
+            attributes still to be dropped. *)
+         let clean =
+           List.filter
+             (fun c -> not (List.exists (fun b -> mentions b c) rest))
+             sigma
+         in
+         (clean, `Truncated)
+       | _ -> go sigma rest)
+  in
+  go sigma drop_attrs

@@ -1,0 +1,170 @@
+open Relational
+module C = Cfds.Cfd
+
+type literal = {
+  var : int;
+  positive : bool;
+}
+
+type t = {
+  num_vars : int;
+  clauses : (literal * literal * literal) list;
+}
+
+let make ~num_vars clauses =
+  List.iter
+    (fun (l1, l2, l3) ->
+      List.iter
+        (fun l ->
+          if l.var < 1 || l.var > num_vars then
+            invalid_arg "Sat.make: literal variable out of range")
+        [ l1; l2; l3 ])
+    clauses;
+  { num_vars; clauses }
+
+let eval_literal assignment l =
+  let v = assignment.(l.var - 1) in
+  if l.positive then v else not v
+
+let brute_force f =
+  let n = f.num_vars in
+  let rec try_assignment mask =
+    if mask >= 1 lsl n then false
+    else
+      let assignment = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+      if
+        List.for_all
+          (fun (l1, l2, l3) -> List.exists (eval_literal assignment) [ l1; l2; l3 ])
+          f.clauses
+      then true
+      else try_assignment (mask + 1)
+  in
+  try_assignment 0
+
+let random rng ~num_vars ~num_clauses =
+  let clause () =
+    let lit () =
+      { var = Workload.Rng.range rng 1 num_vars; positive = Workload.Rng.bool rng }
+    in
+    (lit (), lit (), lit ())
+  in
+  { num_vars; clauses = List.init num_clauses (fun _ -> clause ()) }
+
+type encoded = {
+  schema : Relational.Schema.db;
+  sigma : C.t list;
+  view : Relational.Spc.t;
+  psi : C.t;
+}
+
+let bool_dom = Domain.finite [ Value.int 0; Value.int 1 ]
+let b v = Value.int (if v then 1 else 0)
+
+(* A clause containing complementary literals of one variable is always
+   true; the gadget of the proof cannot encode it (its four rows would
+   violate ϕ_{j2} = Rj(Xj → Aj) outright), so such clauses are dropped —
+   which preserves satisfiability. *)
+let drop_tautological f =
+  let tautological (l1, l2, l3) =
+    let ls = [ l1; l2; l3 ] in
+    List.exists
+      (fun l -> List.exists (fun l' -> l.var = l'.var && l.positive <> l'.positive) ls)
+      ls
+  in
+  { f with clauses = List.filter (fun c -> not (tautological c)) f.clauses }
+
+let encode f =
+  let f = drop_tautological f in
+  let m = f.num_vars and n = List.length f.clauses in
+  let r0 =
+    Schema.relation "R0"
+      [
+        Attribute.make "X" Domain.int;
+        Attribute.make "A" bool_dom;
+        Attribute.make "Z" bool_dom;
+      ]
+  in
+  let ri i =
+    Schema.relation (Printf.sprintf "R%d" i)
+      [
+        Attribute.make "B1" bool_dom;
+        Attribute.make "B2" bool_dom;
+        Attribute.make (Printf.sprintf "X%d" i) Domain.int;
+        Attribute.make (Printf.sprintf "A%d" i) bool_dom;
+      ]
+  in
+  let schema = Schema.db (r0 :: List.init n (fun i -> ri (i + 1))) in
+  (* Source FDs. *)
+  let sigma =
+    C.fd "R0" [ "X" ] "A"
+    :: List.concat
+         (List.init n (fun i ->
+              let i = i + 1 in
+              let r = Printf.sprintf "R%d" i in
+              let xi = Printf.sprintf "X%d" i and ai = Printf.sprintf "A%d" i in
+              [
+                C.fd r [ "B1"; "B2" ] xi;
+                C.fd r [ "B1"; "B2" ] ai;
+                C.fd r [ xi ] ai;
+              ]))
+  in
+  (* View atoms and selections. *)
+  let atoms = ref [] and sels = ref [] in
+  let add_atom base names = atoms := Spc.atom schema base names :: !atoms in
+  (* e: the copy of R0 whose attributes carry ψ. *)
+  add_atom "R0" [ "X"; "A"; "Z" ];
+  (* e01: one σ_{X=k}(R0) per variable, forcing every variable to appear. *)
+  for k = 1 to m do
+    let p s = Printf.sprintf "e01_%d_%s" k s in
+    add_atom "R0" [ p "X"; p "A"; p "Z" ];
+    sels := Spc.Sel_const (p "X", Value.int k) :: !sels
+  done;
+  (* e02: per clause, σ_{R0.X = Rj.Xj ∧ R0.A = Rj.Aj}(R0 × Rj): clause
+     assignments must be consistent with the global assignment. *)
+  for j = 1 to n do
+    let p s = Printf.sprintf "e02_%d_%s" j s in
+    add_atom "R0" [ p "X"; p "A"; p "Z" ];
+    add_atom (Printf.sprintf "R%d" j) [ p "B1"; p "B2"; p "Xj"; p "Aj" ];
+    sels := Spc.Sel_eq (p "X", p "Xj") :: Spc.Sel_eq (p "A", p "Aj") :: !sels
+  done;
+  (* ej: four selected copies of Rj enumerate the clause's satisfying
+     literal choices (the (1,1) row repeats the first literal). *)
+  List.iteri
+    (fun j0 (l1, l2, l3) ->
+      let j = j0 + 1 in
+      let rows = [ (l1, 0, 0); (l2, 0, 1); (l3, 1, 0); (l1, 1, 1) ] in
+      List.iteri
+        (fun r (lit, a1, a2) ->
+          let p s = Printf.sprintf "e%d_%d_%s" j (r + 1) s in
+          add_atom (Printf.sprintf "R%d" j) [ p "B1"; p "B2"; p "Xj"; p "Aj" ];
+          sels :=
+            Spc.Sel_const (p "B1", Value.int a1)
+            :: Spc.Sel_const (p "B2", Value.int a2)
+            :: Spc.Sel_const (p "Xj", Value.int lit.var)
+            :: Spc.Sel_const (p "Aj", b lit.positive)
+            :: !sels)
+        rows)
+    f.clauses;
+  let atoms = List.rev !atoms in
+  let projection =
+    List.concat_map
+      (fun (a : Spc.atom) -> List.map Attribute.name a.Spc.attrs)
+      atoms
+  in
+  let view =
+    Spc.make_exn ~source:schema ~name:"V" ~selection:(List.rev !sels) ~atoms
+      ~projection ()
+  in
+  let psi = C.fd "V" [ "X"; "A" ] "Z" in
+  { schema; sigma; view; psi }
+
+let satisfiable_via_propagation ?(budget = 2_000_000) f =
+  let e = encode f in
+  match
+    Propagation.Propagate.decide
+      ~strategy:(Propagation.Propagate.Enumerate { budget })
+      e.view ~sigma:e.sigma e.psi
+  with
+  | Propagation.Propagate.Propagated -> Ok false
+  | Propagation.Propagate.Not_propagated _ -> Ok true
+  | Propagation.Propagate.Budget_exceeded -> Error `Budget_exceeded

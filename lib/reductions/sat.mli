@@ -1,0 +1,51 @@
+(** 3SAT and the reduction of Theorem 3.2: 3SAT reduces to the complement of
+    the dependency propagation problem for source FDs, view FDs and SC views
+    in the general setting — the lower-bound witness for every
+    coNP-complete cell of Tables 1 and 2.
+
+    The encoding (appendix, proof of Theorem 3.2): a relation
+    [R0(X, A, Z)] stores a truth assignment ([A], [Z] Boolean), one relation
+    [Ri(A1, A2, Xi, Ai)] per clause enumerates the satisfying literal
+    choices, FDs force assignments to be functions, and an SC view joins
+    everything so that it is non-empty exactly on sources encoding a
+    satisfying assignment.  Then [φ] is satisfiable iff
+    [Σ ⊭_V (X, A → Z)]. *)
+
+(** A literal: variable index (1-based) and polarity. *)
+type literal = {
+  var : int;
+  positive : bool;
+}
+
+(** A 3SAT instance: each clause has exactly three literals over variables
+    [1 … num_vars]. *)
+type t = {
+  num_vars : int;
+  clauses : (literal * literal * literal) list;
+}
+
+val make : num_vars:int -> (literal * literal * literal) list -> t
+
+(** [brute_force f] decides satisfiability by enumeration (for
+    cross-checking the reduction). *)
+val brute_force : t -> bool
+
+(** [random rng ~num_vars ~num_clauses] generates a random instance. *)
+val random : Workload.Rng.t -> num_vars:int -> num_clauses:int -> t
+
+(** The reduction: source schema, source FDs (as CFDs), the SC view, and the
+    view FD ψ = V(X, A → Z). *)
+type encoded = {
+  schema : Relational.Schema.db;
+  sigma : Cfds.Cfd.t list;
+  view : Relational.Spc.t;
+  psi : Cfds.Cfd.t;
+}
+
+val encode : t -> encoded
+
+(** [satisfiable_via_propagation ?budget f] decides satisfiability of [f] by
+    running the propagation check on the encoding:
+    satisfiable ⟺ ψ not propagated. *)
+val satisfiable_via_propagation :
+  ?budget:int -> t -> (bool, [ `Budget_exceeded ]) result

@@ -1,0 +1,177 @@
+type pred =
+  | True
+  | False
+  | Eq_attr of string * string
+  | Eq_const of string * Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Relation of string
+  | Select of pred * t
+  | Project of string list * t
+  | Product of t * t
+  | Rename of (string * string) list * t
+  | Union of t * t
+  | Difference of t * t
+  | Constant of Schema.relation * Tuple.t list
+
+let ( let* ) = Result.bind
+
+let rec pred_attrs = function
+  | True | False -> []
+  | Eq_attr (a, b) -> [ a; b ]
+  | Eq_const (a, _) -> [ a ]
+  | And (p, q) | Or (p, q) -> pred_attrs p @ pred_attrs q
+  | Not p -> pred_attrs p
+
+let rec output_schema db q ~name =
+  let* attrs = output_attrs db q in
+  try Ok (Schema.relation name attrs)
+  with Invalid_argument msg -> Error msg
+
+and output_attrs db q =
+  match q with
+  | Relation r ->
+    if Schema.mem db r then Ok (Schema.attributes (Schema.find db r))
+    else Error (Printf.sprintf "unknown relation %s" r)
+  | Constant (schema, _) -> Ok (Schema.attributes schema)
+  | Select (p, q) ->
+    let* attrs = output_attrs db q in
+    let names = List.map Attribute.name attrs in
+    let missing =
+      List.filter (fun a -> not (List.mem a names)) (pred_attrs p)
+    in
+    if missing = [] then Ok attrs
+    else Error (Printf.sprintf "selection on unknown attribute %s" (List.hd missing))
+  | Project (names, q) ->
+    let* attrs = output_attrs db q in
+    let find n =
+      match List.find_opt (fun a -> String.equal (Attribute.name a) n) attrs with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "projection on unknown attribute %s" n)
+    in
+    List.fold_right
+      (fun n acc ->
+        let* acc = acc in
+        let* a = find n in
+        Ok (a :: acc))
+      names (Ok [])
+  | Product (q1, q2) ->
+    let* a1 = output_attrs db q1 in
+    let* a2 = output_attrs db q2 in
+    let n1 = List.map Attribute.name a1 in
+    let clash =
+      List.find_opt (fun a -> List.mem (Attribute.name a) n1) a2
+    in
+    (match clash with
+     | Some a ->
+       Error (Printf.sprintf "product attribute clash on %s" (Attribute.name a))
+     | None -> Ok (a1 @ a2))
+  | Rename (pairs, q) ->
+    let* attrs = output_attrs db q in
+    let rename a =
+      match List.assoc_opt (Attribute.name a) pairs with
+      | Some n -> Attribute.rename a n
+      | None -> a
+    in
+    Ok (List.map rename attrs)
+  | Union (q1, q2) | Difference (q1, q2) ->
+    let* a1 = output_attrs db q1 in
+    let* a2 = output_attrs db q2 in
+    if
+      List.length a1 = List.length a2
+      && List.for_all2 (fun x y -> Attribute.same_name x y) a1 a2
+    then Ok a1
+    else Error "union/difference of non-union-compatible queries"
+
+let rec eval_pred schema p tuple =
+  match p with
+  | True -> true
+  | False -> false
+  | Eq_attr (a, b) ->
+    Value.equal (Tuple.get schema tuple a) (Tuple.get schema tuple b)
+  | Eq_const (a, v) -> Value.equal (Tuple.get schema tuple a) v
+  | And (p, q) -> eval_pred schema p tuple && eval_pred schema q tuple
+  | Or (p, q) -> eval_pred schema p tuple || eval_pred schema q tuple
+  | Not p -> not (eval_pred schema p tuple)
+
+let eval db q d ~name =
+  let rec go q name =
+    let schema =
+      match output_schema db q ~name with
+      | Ok s -> s
+      | Error msg -> invalid_arg ("Algebra.eval: " ^ msg)
+    in
+    match q with
+    | Relation r -> Database.instance d r
+    | Constant (_, tuples) -> Relation.make schema tuples
+    | Select (p, q) ->
+      let r = go q name in
+      Relation.make_unchecked schema
+        (List.filter (eval_pred (Relation.schema r) p) (Relation.tuples r))
+    | Project (names, q) ->
+      let r = go q name in
+      let inner = Relation.schema r in
+      Relation.make_unchecked schema
+        (List.map (fun t -> Tuple.project inner t names) (Relation.tuples r))
+    | Product (q1, q2) ->
+      let r1 = go q1 (name ^ "_l") and r2 = go q2 (name ^ "_r") in
+      let tuples =
+        List.concat_map
+          (fun t1 ->
+            List.map (fun t2 -> Array.append t1 t2) (Relation.tuples r2))
+          (Relation.tuples r1)
+      in
+      Relation.make_unchecked schema tuples
+    | Rename (_, q) ->
+      let r = go q name in
+      Relation.make_unchecked schema (Relation.tuples r)
+    | Union (q1, q2) ->
+      let r1 = go q1 name and r2 = go q2 name in
+      Relation.make_unchecked schema (Relation.tuples r1 @ Relation.tuples r2)
+    | Difference (q1, q2) ->
+      let r1 = go q1 name and r2 = go q2 name in
+      Relation.make_unchecked schema
+        (List.filter
+           (fun t -> not (List.exists (Tuple.equal t) (Relation.tuples r2)))
+           (Relation.tuples r1))
+  in
+  go q name
+
+let conjuncts p =
+  let rec go p acc =
+    match p with
+    | True -> Some acc
+    | And (a, b) -> Option.bind (go a acc) (go b)
+    | Eq_attr _ | Eq_const _ -> Some (p :: acc)
+    | False | Or _ | Not _ -> None
+  in
+  Option.map List.rev (go p [])
+
+let rec pp_pred ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Eq_attr (a, b) -> Fmt.pf ppf "%s = %s" a b
+  | Eq_const (a, v) -> Fmt.pf ppf "%s = %a" a Value.pp v
+  | And (p, q) -> Fmt.pf ppf "(%a and %a)" pp_pred p pp_pred q
+  | Or (p, q) -> Fmt.pf ppf "(%a or %a)" pp_pred p pp_pred q
+  | Not p -> Fmt.pf ppf "not %a" pp_pred p
+
+let rec pp ppf = function
+  | Relation r -> Fmt.string ppf r
+  | Select (p, q) -> Fmt.pf ppf "select[%a](%a)" pp_pred p pp q
+  | Project (names, q) ->
+    Fmt.pf ppf "project[%a](%a)" Fmt.(list ~sep:(any ", ") string) names pp q
+  | Product (q1, q2) -> Fmt.pf ppf "(%a x %a)" pp q1 pp q2
+  | Rename (pairs, q) ->
+    Fmt.pf ppf "rename[%a](%a)"
+      Fmt.(list ~sep:(any ", ") (pair ~sep:(any "->") string string))
+      pairs pp q
+  | Union (q1, q2) -> Fmt.pf ppf "(%a union %a)" pp q1 pp q2
+  | Difference (q1, q2) -> Fmt.pf ppf "(%a - %a)" pp q1 pp q2
+  | Constant (schema, tuples) ->
+    Fmt.pf ppf "const[%a]{%a}" Schema.pp_relation schema
+      Fmt.(list ~sep:(any "; ") Tuple.pp)
+      tuples

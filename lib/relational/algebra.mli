@@ -1,0 +1,51 @@
+(** Full relational algebra: σ, π, ×, ρ, ∪, − and constant relations.
+
+    The propagation problem is undecidable for views in full RA (Table 1),
+    so no decision procedure exists at this level; the evaluator is used to
+    materialise views, to validate decisions instance-wise in tests, and as
+    the surface syntax from which SPC/SPCU normal forms are derived
+    ({!Spc.of_algebra}, {!Spcu.of_algebra}). *)
+
+(** Selection predicates.  SPC normal form restricts [F] to conjunctions of
+    [A = B] and [A = 'a'] atoms; full RA allows arbitrary boolean
+    combinations. *)
+type pred =
+  | True
+  | False
+  | Eq_attr of string * string
+  | Eq_const of string * Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Relation of string  (** a source relation *)
+  | Select of pred * t
+  | Project of string list * t
+  | Product of t * t
+  | Rename of (string * string) list * t
+      (** [(old, new)] pairs; unlisted attributes keep their names *)
+  | Union of t * t
+  | Difference of t * t
+  | Constant of Schema.relation * Tuple.t list
+      (** a constant relation, e.g. the [Rc] of the SPC normal form *)
+
+(** [output_schema db q ~name] infers the schema of [q]'s answer relation.
+    Returns [Error msg] on ill-formed queries (unknown relations or
+    attributes, name clashes in products, non-union-compatible unions). *)
+val output_schema : Schema.db -> t -> name:string -> (Schema.relation, string) result
+
+(** [eval db q d ~name] evaluates [q] on database [d].
+    Raises [Invalid_argument] if the query is ill-formed. *)
+val eval : Schema.db -> t -> Database.t -> name:string -> Relation.t
+
+(** [eval_pred schema pred tuple] evaluates a predicate on one tuple. *)
+val eval_pred : Schema.relation -> pred -> Tuple.t -> bool
+
+(** [conjuncts p] flattens a predicate into a conjunction list, or returns
+    [None] when [p] is not a pure conjunction of equality atoms (i.e. not
+    SPC-expressible). *)
+val conjuncts : pred -> pred list option
+
+val pp_pred : pred Fmt.t
+val pp : t Fmt.t

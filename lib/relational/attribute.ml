@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  domain : Domain.t;
+}
+
+let make name domain = { name; domain }
+let name a = a.name
+let domain a = a.domain
+let rename a n = { a with name = n }
+let same_name a b = String.equal a.name b.name
+let equal a b = String.equal a.name b.name && Domain.equal a.domain b.domain
+let is_finite a = Domain.is_finite a.domain
+let pp ppf a = Fmt.pf ppf "%s:%a" a.name Domain.pp a.domain

@@ -1,0 +1,28 @@
+(** Attributes: a column name paired with its domain.
+
+    Attribute names are unique within a relation schema, and the SPC normal
+    form of Section 2.2 additionally requires the renamed relation atoms of a
+    view body to have pairwise disjoint attribute names. *)
+
+type t = {
+  name : string;
+  domain : Domain.t;
+}
+
+val make : string -> Domain.t -> t
+val name : t -> string
+val domain : t -> Domain.t
+
+(** [rename a n] is [a] with name [n] (same domain); this is the effect of
+    the renaming operator ρ on a single column. *)
+val rename : t -> string -> t
+
+(** Equality of names only (the usual notion when comparing columns of one
+    schema). *)
+val same_name : t -> t -> bool
+
+(** Full structural equality: names and domains. *)
+val equal : t -> t -> bool
+
+val is_finite : t -> bool
+val pp : t Fmt.t

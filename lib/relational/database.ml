@@ -1,0 +1,44 @@
+type t = {
+  schema : Schema.db;
+  instances : (string * Relation.t) list;
+}
+
+let make schema instances =
+  List.iter
+    (fun r ->
+      let name = Schema.relation_name (Relation.schema r) in
+      if not (Schema.mem schema name) then
+        invalid_arg (Printf.sprintf "Database.make: unknown relation %s" name))
+    instances;
+  let find name =
+    List.find_opt
+      (fun r -> String.equal name (Schema.relation_name (Relation.schema r)))
+      instances
+  in
+  let instances =
+    List.map
+      (fun rel ->
+        let name = Schema.relation_name rel in
+        match find name with
+        | Some r -> (name, r)
+        | None -> (name, Relation.make rel []))
+      (Schema.relations schema)
+  in
+  { schema; instances }
+
+let empty schema = make schema []
+let schema d = d.schema
+
+let instance d name =
+  match List.assoc_opt name d.instances with
+  | Some r -> r
+  | None -> raise Not_found
+
+let with_instance d r =
+  let name = Schema.relation_name (Relation.schema r) in
+  if not (List.mem_assoc name d.instances) then
+    invalid_arg (Printf.sprintf "Database.with_instance: unknown relation %s" name);
+  { d with instances = (name, r) :: List.remove_assoc name d.instances }
+
+let pp ppf d =
+  Fmt.(list ~sep:(any "@\n") Relation.pp) ppf (List.map snd d.instances)

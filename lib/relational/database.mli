@@ -1,0 +1,21 @@
+(** Database instances: one relation instance per relation of a database
+    schema. *)
+
+type t
+
+(** [make schema instances] pairs every relation of [schema] with an
+    instance.  Missing relations default to the empty instance; instances
+    for unknown relations raise [Invalid_argument]. *)
+val make : Schema.db -> Relation.t list -> t
+
+val empty : Schema.db -> t
+val schema : t -> Schema.db
+
+(** [instance db name] is the instance of relation [name].
+    Raises [Not_found] for unknown relations. *)
+val instance : t -> string -> Relation.t
+
+(** [with_instance db r] replaces the instance of [r]'s relation. *)
+val with_instance : t -> Relation.t -> t
+
+val pp : t Fmt.t

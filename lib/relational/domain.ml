@@ -1,0 +1,74 @@
+type dtype =
+  | Dint
+  | Dstr
+  | Dbool
+
+type t =
+  | Infinite of dtype
+  | Finite of Value.t list
+
+let dtype_of_value = function
+  | Value.Int _ -> Dint
+  | Value.Str _ -> Dstr
+  | Value.Bool _ -> Dbool
+
+let equal a b =
+  match a, b with
+  | Infinite x, Infinite y -> x = y
+  | Finite xs, Finite ys ->
+    List.length xs = List.length ys && List.for_all2 Value.equal xs ys
+  | (Infinite _ | Finite _), _ -> false
+
+let finite values =
+  match values with
+  | [] -> invalid_arg "Domain.finite: empty domain"
+  | v :: rest ->
+    let ty = dtype_of_value v in
+    if List.exists (fun w -> dtype_of_value w <> ty) rest then
+      invalid_arg "Domain.finite: mixed value types"
+    else Finite (List.sort_uniq Value.compare values)
+
+let boolean = finite [ Value.Bool true; Value.Bool false ]
+let int = Infinite Dint
+let string = Infinite Dstr
+let is_finite = function Finite _ -> true | Infinite _ -> false
+
+let members = function
+  | Finite vs -> vs
+  | Infinite _ -> invalid_arg "Domain.members: infinite domain"
+
+let dtype = function
+  | Infinite ty -> ty
+  | Finite (v :: _) -> dtype_of_value v
+  | Finite [] -> assert false
+
+let mem v d =
+  match d with
+  | Infinite ty -> dtype_of_value v = ty
+  | Finite vs -> List.exists (Value.equal v) vs
+
+let fresh_constants d n ~avoid =
+  match d with
+  | Finite _ -> invalid_arg "Domain.fresh_constants: finite domain"
+  | Infinite ty ->
+    let make i =
+      match ty with
+      | Dint -> Value.Int i
+      | Dstr -> Value.Str (Printf.sprintf "#fresh%d" i)
+      | Dbool -> assert false
+    in
+    let rec gather acc i remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let v = make i in
+        if List.exists (Value.equal v) avoid then gather acc (i + 1) remaining
+        else gather (v :: acc) (i + 1) (remaining - 1)
+    in
+    (* Start from a large base so generated ints rarely collide with data. *)
+    gather [] 1_000_000_007 n
+
+let pp ppf = function
+  | Infinite Dint -> Fmt.string ppf "int"
+  | Infinite Dstr -> Fmt.string ppf "string"
+  | Infinite Dbool -> Fmt.string ppf "bool*"
+  | Finite vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Value.pp) vs

@@ -1,0 +1,54 @@
+(** Attribute domains.
+
+    The paper distinguishes the {e infinite-domain setting} (every attribute
+    ranges over an infinite domain such as [string] or [int]) from the
+    {e general setting} where finite-domain attributes (Boolean, date, …)
+    may occur.  The distinction drives the complexity results of Section 3:
+    propagation is PTIME for SPCU views without finite domains and
+    coNP-complete with them. *)
+
+(** Runtime type of the values of a domain. *)
+type dtype =
+  | Dint
+  | Dstr
+  | Dbool
+
+type t =
+  | Infinite of dtype  (** an infinite domain of the given type *)
+  | Finite of Value.t list
+      (** a finite domain, listed exhaustively; all members share one type *)
+
+val equal : t -> t -> bool
+
+(** [finite values] builds a finite domain.  Raises [Invalid_argument] if
+    [values] is empty or mixes runtime types. *)
+val finite : Value.t list -> t
+
+(** The finite domain [{true, false}]. *)
+val boolean : t
+
+(** Infinite domains of each type. *)
+
+val int : t
+val string : t
+
+val is_finite : t -> bool
+
+(** [members d] returns the member list of a finite domain.
+    Raises [Invalid_argument] on infinite domains. *)
+val members : t -> Value.t list
+
+(** [mem v d] tests whether [v] belongs to [d] (type check for infinite
+    domains, membership for finite ones). *)
+val mem : Value.t -> t -> bool
+
+val dtype : t -> dtype
+val dtype_of_value : Value.t -> dtype
+
+(** [fresh_constants d n ~avoid] returns [n] pairwise-distinct values of [d]
+    that avoid the list [avoid].  Only available for infinite domains; used
+    to instantiate chase variables with fresh constants.  Raises
+    [Invalid_argument] on finite domains. *)
+val fresh_constants : t -> int -> avoid:Value.t list -> Value.t list
+
+val pp : t Fmt.t

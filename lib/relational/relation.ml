@@ -1,0 +1,41 @@
+type t = {
+  schema : Schema.relation;
+  tuples : Tuple.t list; (* sorted, duplicate-free *)
+}
+
+let make_unchecked schema tuples =
+  { schema; tuples = List.sort_uniq Tuple.compare tuples }
+
+let make schema tuples =
+  List.iter
+    (fun t ->
+      if not (Tuple.conforms schema t) then
+        invalid_arg
+          (Fmt.str "Relation.make %s: tuple %a does not conform"
+             (Schema.relation_name schema) Tuple.pp t))
+    tuples;
+  make_unchecked schema tuples
+
+let schema r = r.schema
+let tuples r = r.tuples
+let cardinality r = List.length r.tuples
+let is_empty r = r.tuples = []
+let mem r t = List.exists (Tuple.equal t) r.tuples
+let fold f init r = List.fold_left f init r.tuples
+let filter p r = { r with tuples = List.filter p r.tuples }
+
+let union a b =
+  { a with tuples = List.sort_uniq Tuple.compare (a.tuples @ b.tuples) }
+
+let diff a b =
+  { a with tuples = List.filter (fun t -> not (mem b t)) a.tuples }
+
+let equal a b =
+  List.length a.tuples = List.length b.tuples
+  && List.for_all2 Tuple.equal a.tuples b.tuples
+
+let pp ppf r =
+  Fmt.pf ppf "%s: {%a}"
+    (Schema.relation_name r.schema)
+    Fmt.(list ~sep:(any "; ") Tuple.pp)
+    r.tuples

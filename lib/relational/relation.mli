@@ -1,0 +1,28 @@
+(** Relation instances: a schema plus a duplicate-free set of tuples. *)
+
+type t
+
+(** [make schema tuples] deduplicates [tuples] and checks each against the
+    schema (arity and domain membership).
+    Raises [Invalid_argument] on a non-conforming tuple. *)
+val make : Schema.relation -> Tuple.t list -> t
+
+(** [make_unchecked] skips conformance checks — used for synthetic
+    chase-produced instances whose fresh constants live outside declared
+    finite domains is {e not} allowed; this only skips the O(n·arity) check. *)
+val make_unchecked : Schema.relation -> Tuple.t list -> t
+
+val schema : t -> Schema.relation
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+
+(** [fold f init r] folds over tuples. *)
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+
+val filter : (Tuple.t -> bool) -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,44 @@
+(** Relation and database schemas.
+
+    A database schema [R = (S1, …, Sm)] is a list of relation schemas with
+    distinct names; each relation schema is a list of attributes with
+    distinct names.  Positions matter: tuples are stored positionally. *)
+
+type relation
+
+(** [relation name attrs] builds a relation schema.
+    Raises [Invalid_argument] on duplicate attribute names or empty [attrs]. *)
+val relation : string -> Attribute.t list -> relation
+
+val relation_name : relation -> string
+val attributes : relation -> Attribute.t list
+val attribute_names : relation -> string list
+val arity : relation -> int
+
+(** [attr_index r name] is the position of attribute [name] in [r].
+    Raises [Not_found] if absent. *)
+val attr_index : relation -> string -> int
+
+val attr : relation -> string -> Attribute.t
+val mem_attr : relation -> string -> bool
+val nth_attr : relation -> int -> Attribute.t
+
+(** [has_finite_attr r] reports whether [r] contains a finite-domain
+    attribute: the discriminant between the paper's infinite-domain setting
+    and the general setting. *)
+val has_finite_attr : relation -> bool
+
+val equal_relation : relation -> relation -> bool
+val pp_relation : relation Fmt.t
+
+type db
+
+(** [db relations] builds a database schema.
+    Raises [Invalid_argument] on duplicate relation names. *)
+val db : relation list -> db
+
+val relations : db -> relation list
+val find : db -> string -> relation
+val mem : db -> string -> bool
+val db_has_finite_attr : db -> bool
+val pp_db : db Fmt.t

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  branches : Spc.t list;
+}
+
+let ( let* ) = Result.bind
+
+let compatible a b =
+  let sa = Spc.view_schema a and sb = Spc.view_schema b in
+  List.length (Schema.attributes sa) = List.length (Schema.attributes sb)
+  && List.for_all2
+       (fun x y ->
+         Attribute.same_name x y
+         && Domain.equal (Attribute.domain x) (Attribute.domain y))
+       (Schema.attributes sa) (Schema.attributes sb)
+
+let make ~name branches =
+  match branches with
+  | [] -> Error "Spcu.make: no branches"
+  | first :: rest ->
+    if List.for_all (compatible first) rest then Ok { name; branches }
+    else Error "Spcu.make: branches are not union-compatible"
+
+let make_exn ~name branches =
+  match make ~name branches with
+  | Ok v -> v
+  | Error msg -> invalid_arg msg
+
+let of_spc v = { name = v.Spc.name; branches = [ v ] }
+
+let view_schema v =
+  match v.branches with
+  | b :: _ ->
+    Schema.relation v.name (Schema.attributes (Spc.view_schema b))
+  | [] -> assert false
+
+let source v =
+  match v.branches with b :: _ -> b.Spc.source | [] -> assert false
+
+let eval v d =
+  let tuples = List.concat_map (fun b -> Relation.tuples (Spc.eval b d)) v.branches in
+  Relation.make_unchecked (view_schema v) tuples
+
+let of_algebra db ~name q =
+  let* branches = Spc.compile_branches db ~name q in
+  if branches = [] then Error "query is statically empty (no SPC branch)"
+  else make ~name branches
+
+let pp ppf v =
+  Fmt.(list ~sep:(any "@\nunion@\n") Spc.pp) ppf v.branches

@@ -1,0 +1,25 @@
+(** SPCU views: unions of union-compatible SPC branches (Section 2.2).
+
+    The running example's view [V = Q1 ∪ Q2 ∪ Q3] integrating the uk, us and
+    Netherlands sources is an SPCU view. *)
+
+type t = private {
+  name : string;
+  branches : Spc.t list;  (** non-empty, pairwise union-compatible *)
+}
+
+(** [make ~name branches] checks that all branches share the same view
+    schema (attribute names, order and domains). *)
+val make : name:string -> Spc.t list -> (t, string) result
+
+val make_exn : name:string -> Spc.t list -> t
+val of_spc : Spc.t -> t
+val view_schema : t -> Schema.relation
+val source : t -> Schema.db
+val eval : t -> Database.t -> Relation.t
+
+(** [of_algebra db ~name q] normalises an RA expression (possibly with
+    unions) into SPCU normal form. *)
+val of_algebra : Schema.db -> name:string -> Algebra.t -> (t, string) result
+
+val pp : t Fmt.t

@@ -1,0 +1,31 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let get schema tuple name = tuple.(Schema.attr_index schema name)
+
+let project schema tuple names =
+  Array.of_list (List.map (get schema tuple) names)
+
+let conforms schema tuple =
+  Array.length tuple = Schema.arity schema
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i v -> Domain.mem v (Attribute.domain (Schema.nth_attr schema i)))
+          tuple)
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) (Array.to_list t)

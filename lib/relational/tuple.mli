@@ -1,0 +1,22 @@
+(** Tuples: positional arrays of values, interpreted under a relation
+    schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+(** [get schema tuple name] is the value of attribute [name].
+    Raises [Not_found] if the attribute is absent. *)
+val get : Schema.relation -> t -> string -> Value.t
+
+(** [project schema tuple names] restricts [tuple] to the listed attributes,
+    in the listed order. *)
+val project : Schema.relation -> t -> string list -> t
+
+(** [conforms schema tuple] checks arity and per-attribute domain
+    membership. *)
+val conforms : Schema.relation -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,78 @@
+type token =
+  | Ident of string
+  | Int of int
+  | String of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Colon
+  | Equal
+  | Arrow
+  | Eqeq
+  | Le
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %s" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | String s -> Fmt.pf ppf "string '%s'" s
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Lbracket -> Fmt.string ppf "["
+  | Rbracket -> Fmt.string ppf "]"
+  | Comma -> Fmt.string ppf ","
+  | Semicolon -> Fmt.string ppf ";"
+  | Colon -> Fmt.string ppf ":"
+  | Equal -> Fmt.string ppf "="
+  | Arrow -> Fmt.string ppf "->"
+  | Eqeq -> Fmt.string ppf "=="
+  | Le -> Fmt.string ppf "<="
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '#' ->
+        let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '[' -> go (i + 1) (Lbracket :: acc)
+      | ']' -> go (i + 1) (Rbracket :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | ';' -> go (i + 1) (Semicolon :: acc)
+      | ':' -> go (i + 1) (Colon :: acc)
+      | '-' when i + 1 < n && s.[i + 1] = '>' -> go (i + 2) (Arrow :: acc)
+      | '=' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (Eqeq :: acc)
+      | '<' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (Le :: acc)
+      | '=' -> go (i + 1) (Equal :: acc)
+      | '\'' ->
+        let rec find j =
+          if j >= n then Error ("unterminated string literal", i)
+          else if s.[j] = '\'' then Ok j
+          else find (j + 1)
+        in
+        (match find (i + 1) with
+         | Error e -> Error e
+         | Ok j -> go (j + 1) (String (String.sub s (i + 1) (j - i - 1)) :: acc))
+      | c when c >= '0' && c <= '9' ->
+        let rec find j = if j < n && s.[j] >= '0' && s.[j] <= '9' then find (j + 1) else j in
+        let j = find i in
+        go j (Int (int_of_string (String.sub s i (j - i))) :: acc)
+      | c when is_ident_start c ->
+        let rec find j = if j < n && is_ident_char s.[j] then find (j + 1) else j in
+        let j = find i in
+        go j (Ident (String.sub s i (j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %c" c, i)
+  in
+  go 0 []

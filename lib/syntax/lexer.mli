@@ -1,0 +1,24 @@
+(** Tokeniser for the small declaration language used by the [cfdprop] CLI:
+    schemas, CFDs and SPC views. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | String of string  (** ['…'] literal *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Colon
+  | Equal
+  | Arrow  (** [->] *)
+  | Eqeq  (** [==] *)
+  | Le  (** [<=], the CIND inclusion arrow *)
+
+val pp_token : token Fmt.t
+
+(** [tokenize s] lexes [s]; [#] starts a comment to end of line.
+    Returns [Error (msg, position)] on bad input. *)
+val tokenize : string -> (token list, string * int) result

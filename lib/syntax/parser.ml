@@ -1,0 +1,415 @@
+open Relational
+module L = Lexer
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+type document = {
+  schema : Schema.db;
+  cfds : C.t list;
+  cinds : Cfds.Cind.t list;
+  views : Spc.t list;
+  data : Database.t;
+}
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* A tiny token-stream state. *)
+type state = { mutable tokens : L.token list }
+
+let peek st = match st.tokens with t :: _ -> Some t | [] -> None
+
+let next st =
+  match st.tokens with
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+  | [] -> fail "unexpected end of input"
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then fail "expected %a but found %a" L.pp_token tok L.pp_token t
+
+let ident st =
+  match next st with
+  | L.Ident s -> s
+  | t -> fail "expected an identifier, found %a" L.pp_token t
+
+let value st =
+  match next st with
+  | L.Int n -> Value.int n
+  | L.String s -> Value.str s
+  | L.Ident "true" -> Value.bool true
+  | L.Ident "false" -> Value.bool false
+  | t -> fail "expected a value, found %a" L.pp_token t
+
+let sep_list st ~sep ~stop parse_item =
+  let rec go acc =
+    let acc = parse_item st :: acc in
+    match peek st with
+    | Some t when t = sep ->
+      ignore (next st);
+      go acc
+    | Some t when t = stop -> List.rev acc
+    | Some t -> fail "expected %a or %a, found %a" L.pp_token sep L.pp_token stop L.pp_token t
+    | None -> fail "unexpected end of input"
+  in
+  match peek st with
+  | Some t when t = stop -> []
+  | _ -> go []
+
+(* schema R(A: string, B: enum(1, 2)); *)
+let parse_type st =
+  match next st with
+  | L.Ident "int" -> Domain.int
+  | L.Ident "string" -> Domain.string
+  | L.Ident "bool" -> Domain.boolean
+  | L.Ident "enum" ->
+    expect st L.Lparen;
+    let vs = sep_list st ~sep:L.Comma ~stop:L.Rparen value in
+    expect st L.Rparen;
+    Domain.finite vs
+  | t -> fail "expected a type, found %a" L.pp_token t
+
+let parse_schema st =
+  let name = ident st in
+  expect st L.Lparen;
+  let attr st =
+    let a = ident st in
+    expect st L.Colon;
+    let ty = parse_type st in
+    Attribute.make a ty
+  in
+  let attrs = sep_list st ~sep:L.Comma ~stop:L.Rparen attr in
+  expect st L.Rparen;
+  expect st L.Semicolon;
+  Schema.relation name attrs
+
+(* cfd R([A='a', B] -> [C='c']);  or  cfd R(A == B); *)
+let parse_entry st =
+  let a = ident st in
+  match peek st with
+  | Some L.Equal ->
+    ignore (next st);
+    (a, P.Const (value st))
+  | _ -> (a, P.Wild)
+
+let parse_cfd st =
+  let rel = ident st in
+  expect st L.Lparen;
+  match peek st with
+  | Some L.Lbracket ->
+    ignore (next st);
+    let lhs = sep_list st ~sep:L.Comma ~stop:L.Rbracket parse_entry in
+    expect st L.Rbracket;
+    expect st L.Arrow;
+    expect st L.Lbracket;
+    let rhs = sep_list st ~sep:L.Comma ~stop:L.Rbracket parse_entry in
+    expect st L.Rbracket;
+    expect st L.Rparen;
+    expect st L.Semicolon;
+    if rhs = [] then fail "CFD with an empty right-hand side";
+    C.normalize { C.grel = rel; C.glhs = lhs; C.grhs = rhs }
+  | _ ->
+    let a = ident st in
+    expect st L.Eqeq;
+    let b = ident st in
+    expect st L.Rparen;
+    expect st L.Semicolon;
+    [ C.attr_eq rel a b ]
+
+(* cind R1([A, B]; [P='p']) <= R2([C, D]; [Q='q']); *)
+let parse_cind st =
+  let side st =
+    let rel = ident st in
+    expect st L.Lparen;
+    expect st L.Lbracket;
+    let attrs = sep_list st ~sep:L.Comma ~stop:L.Rbracket ident in
+    expect st L.Rbracket;
+    expect st L.Semicolon;
+    expect st L.Lbracket;
+    let cond st =
+      let a = ident st in
+      expect st L.Equal;
+      (a, value st)
+    in
+    let condition = sep_list st ~sep:L.Comma ~stop:L.Rbracket cond in
+    expect st L.Rbracket;
+    expect st L.Rparen;
+    { Cfds.Cind.rel; attrs; condition }
+  in
+  let lhs = side st in
+  expect st L.Le;
+  let rhs = side st in
+  expect st L.Semicolon;
+  try Cfds.Cind.make ~lhs ~rhs with Invalid_argument m -> fail "%s" m
+
+(* data R = ('a', 'b'), ('c', 'd'); *)
+let parse_data st schema =
+  let name = ident st in
+  let rel =
+    try Schema.find schema name
+    with Not_found -> fail "data for unknown relation %s" name
+  in
+  expect st L.Equal;
+  let row st =
+    expect st L.Lparen;
+    let vs = sep_list st ~sep:L.Comma ~stop:L.Rparen value in
+    expect st L.Rparen;
+    Tuple.make vs
+  in
+  let rows = sep_list st ~sep:L.Comma ~stop:L.Semicolon row in
+  expect st L.Semicolon;
+  List.iter
+    (fun t ->
+      if not (Tuple.conforms rel t) then
+        fail "data tuple %s does not conform to %s"
+          (Fmt.str "%a" Tuple.pp t) name)
+    rows;
+  (name, rows)
+
+(* view V = from [...] where [...] constants [...] project [...]; *)
+let parse_view st schema =
+  let name = ident st in
+  expect st L.Equal;
+  (match ident st with
+   | "from" -> ()
+   | kw -> fail "expected 'from', found %s" kw);
+  expect st L.Lbracket;
+  let atom st =
+    let base = ident st in
+    expect st L.Lparen;
+    let names = sep_list st ~sep:L.Comma ~stop:L.Rparen ident in
+    expect st L.Rparen;
+    try Spc.atom schema base names
+    with Invalid_argument m -> fail "%s" m
+  in
+  let atoms = sep_list st ~sep:L.Comma ~stop:L.Rbracket atom in
+  expect st L.Rbracket;
+  let selection = ref [] and constants = ref [] and projection = ref None in
+  let parse_sel st =
+    let a = ident st in
+    expect st L.Equal;
+    match next st with
+    | L.Ident b -> Spc.Sel_eq (a, b)
+    | L.Int n -> Spc.Sel_const (a, Value.int n)
+    | L.String s -> Spc.Sel_const (a, Value.str s)
+    | t -> fail "expected attribute or value, found %a" L.pp_token t
+  in
+  let parse_const st =
+    let a = ident st in
+    expect st L.Equal;
+    let v = value st in
+    (Attribute.make a (Domain.Infinite (Domain.dtype_of_value v)), v)
+  in
+  let rec clauses () =
+    match peek st with
+    | Some (L.Ident "where") ->
+      ignore (next st);
+      expect st L.Lbracket;
+      selection := sep_list st ~sep:L.Comma ~stop:L.Rbracket parse_sel;
+      expect st L.Rbracket;
+      clauses ()
+    | Some (L.Ident "constants") ->
+      ignore (next st);
+      expect st L.Lbracket;
+      constants := sep_list st ~sep:L.Comma ~stop:L.Rbracket parse_const;
+      expect st L.Rbracket;
+      clauses ()
+    | Some (L.Ident "project") ->
+      ignore (next st);
+      expect st L.Lbracket;
+      projection := Some (sep_list st ~sep:L.Comma ~stop:L.Rbracket ident);
+      expect st L.Rbracket;
+      clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  expect st L.Semicolon;
+  let projection =
+    match !projection with
+    | Some p -> p
+    | None -> fail "view %s has no 'project' clause" name
+  in
+  match
+    Spc.make ~source:schema ~name ~constants:!constants ~selection:!selection
+      ~atoms ~projection ()
+  with
+  | Ok v -> v
+  | Error m -> fail "view %s: %s" name m
+
+let parse_document input =
+  match L.tokenize input with
+  | Error (msg, pos) -> Error (Printf.sprintf "lexical error at offset %d: %s" pos msg)
+  | Ok tokens ->
+    let st = { tokens } in
+    let schemas = ref [] and cfds = ref [] and pending_views = ref [] in
+    let cinds = ref [] and data_rows = ref [] in
+    (try
+       let rec go () =
+         match peek st with
+         | None -> ()
+         | Some (L.Ident "schema") ->
+           ignore (next st);
+           schemas := parse_schema st :: !schemas;
+           go ()
+         | Some (L.Ident "cfd") ->
+           ignore (next st);
+           (* CFDs may reference views declared later; defer validation. *)
+           cfds := parse_cfd st @ !cfds;
+           go ()
+         | Some (L.Ident "view") ->
+           ignore (next st);
+           let schema = Schema.db (List.rev !schemas) in
+           pending_views := parse_view st schema :: !pending_views;
+           go ()
+         | Some (L.Ident "cind") ->
+           ignore (next st);
+           cinds := parse_cind st :: !cinds;
+           go ()
+         | Some (L.Ident "data") ->
+           ignore (next st);
+           let schema = Schema.db (List.rev !schemas) in
+           data_rows := parse_data st schema :: !data_rows;
+           go ()
+         | Some t -> fail "expected a declaration, found %a" L.pp_token t
+       in
+       go ();
+       let schema =
+         try Schema.db (List.rev !schemas)
+         with Invalid_argument m -> fail "%s" m
+       in
+       (* Validate CIND attribute references. *)
+       List.iter
+         (fun (c : Cfds.Cind.t) ->
+           List.iter
+             (fun (side : Cfds.Cind.side) ->
+               if not (Schema.mem schema side.Cfds.Cind.rel) then
+                 fail "CIND over unknown relation %s" side.Cfds.Cind.rel;
+               let rel = Schema.find schema side.Cfds.Cind.rel in
+               List.iter
+                 (fun a ->
+                   if not (Schema.mem_attr rel a) then
+                     fail "CIND attribute %s not in %s" a side.Cfds.Cind.rel)
+                 (side.Cfds.Cind.attrs @ List.map fst side.Cfds.Cind.condition))
+             [ c.Cfds.Cind.lhs; c.Cfds.Cind.rhs ])
+         !cinds;
+       let data =
+         let by_rel = Hashtbl.create 8 in
+         List.iter
+           (fun (name, rows) ->
+             Hashtbl.replace by_rel name
+               (rows @ Option.value ~default:[] (Hashtbl.find_opt by_rel name)))
+           !data_rows;
+         Database.make schema
+           (Hashtbl.fold
+              (fun name rows acc ->
+                Relation.make (Schema.find schema name) rows :: acc)
+              by_rel [])
+       in
+       Ok
+         {
+           schema;
+           cfds = List.rev !cfds;
+           cinds = List.rev !cinds;
+           views = List.rev !pending_views;
+           data;
+         }
+     with Parse_error m -> Error m)
+
+(* --- Printers ----------------------------------------------------------- *)
+
+let print_value ppf = function
+  | Value.Int n -> Fmt.int ppf n
+  | Value.Str s -> Fmt.pf ppf "'%s'" s
+  | Value.Bool b -> Fmt.bool ppf b
+
+let print_type ppf d =
+  match d with
+  | Domain.Infinite Domain.Dint -> Fmt.string ppf "int"
+  | Domain.Infinite Domain.Dstr -> Fmt.string ppf "string"
+  | Domain.Infinite Domain.Dbool -> Fmt.string ppf "bool"
+  | Domain.Finite vs ->
+    if Domain.equal d Domain.boolean then Fmt.string ppf "bool"
+    else Fmt.pf ppf "enum(%a)" Fmt.(list ~sep:(any ", ") print_value) vs
+
+let print_schema ppf rel =
+  let attr ppf a =
+    Fmt.pf ppf "%s: %a" (Attribute.name a) print_type (Attribute.domain a)
+  in
+  Fmt.pf ppf "schema %s(%a);"
+    (Schema.relation_name rel)
+    Fmt.(list ~sep:(any ", ") attr)
+    (Schema.attributes rel)
+
+let print_entry ppf (a, p) =
+  match p with
+  | P.Wild -> Fmt.string ppf a
+  | P.Const v -> Fmt.pf ppf "%s=%a" a print_value v
+  | P.Svar -> Fmt.string ppf a
+
+let print_cfd ppf c =
+  if C.is_attr_eq c then
+    match c.C.lhs, c.C.rhs with
+    | [ (a, _) ], (b, _) -> Fmt.pf ppf "cfd %s(%s == %s);" c.C.rel a b
+    | _ -> assert false
+  else
+    Fmt.pf ppf "cfd %s([%a] -> [%a]);" c.C.rel
+      Fmt.(list ~sep:(any ", ") print_entry)
+      c.C.lhs print_entry c.C.rhs
+
+let print_cind ppf (c : Cfds.Cind.t) =
+  let side ppf (s : Cfds.Cind.side) =
+    let cond ppf (a, v) = Fmt.pf ppf "%s=%a" a print_value v in
+    Fmt.pf ppf "%s([%a]; [%a])" s.Cfds.Cind.rel
+      Fmt.(list ~sep:(any ", ") string)
+      s.Cfds.Cind.attrs
+      Fmt.(list ~sep:(any ", ") cond)
+      s.Cfds.Cind.condition
+  in
+  Fmt.pf ppf "cind %a <= %a;" side c.Cfds.Cind.lhs side c.Cfds.Cind.rhs
+
+let print_view ppf (v : Spc.t) =
+  let atom ppf (a : Spc.atom) =
+    Fmt.pf ppf "%s(%a)" a.Spc.base
+      Fmt.(list ~sep:(any ", ") string)
+      (List.map Attribute.name a.Spc.attrs)
+  in
+  let sel ppf = function
+    | Spc.Sel_eq (a, b) -> Fmt.pf ppf "%s=%s" a b
+    | Spc.Sel_const (a, c) -> Fmt.pf ppf "%s=%a" a print_value c
+  in
+  let pconst ppf (a, c) =
+    Fmt.pf ppf "%s=%a" (Attribute.name a) print_value c
+  in
+  Fmt.pf ppf "view %s = from [%a]" v.Spc.name Fmt.(list ~sep:(any ", ") atom) v.Spc.atoms;
+  if v.Spc.selection <> [] then
+    Fmt.pf ppf " where [%a]" Fmt.(list ~sep:(any ", ") sel) v.Spc.selection;
+  if v.Spc.constants <> [] then
+    Fmt.pf ppf " constants [%a]" Fmt.(list ~sep:(any ", ") pconst) v.Spc.constants;
+  Fmt.pf ppf " project [%a];" Fmt.(list ~sep:(any ", ") string) v.Spc.projection
+
+let print_data ppf d =
+  List.iter
+    (fun rel ->
+      let name = Schema.relation_name rel in
+      let inst = Database.instance d name in
+      if not (Relation.is_empty inst) then begin
+        let row ppf t =
+          Fmt.pf ppf "(%a)"
+            Fmt.(list ~sep:(any ", ") print_value)
+            (Array.to_list t)
+        in
+        Fmt.pf ppf "data %s = %a;@." name
+          Fmt.(list ~sep:(any ", ") row)
+          (Relation.tuples inst)
+      end)
+    (Schema.relations (Database.schema d))
+
+let print_document ppf d =
+  List.iter (fun r -> Fmt.pf ppf "%a@." print_schema r) (Schema.relations d.schema);
+  List.iter (fun c -> Fmt.pf ppf "%a@." print_cfd c) d.cfds;
+  List.iter (fun c -> Fmt.pf ppf "%a@." print_cind c) d.cinds;
+  List.iter (fun v -> Fmt.pf ppf "%a@." print_view v) d.views;
+  print_data ppf d.data

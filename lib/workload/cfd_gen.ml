@@ -1,0 +1,36 @@
+open Relational
+module P = Cfds.Pattern
+
+let constant rng = Value.int (Rng.range rng 1 100000)
+
+let pattern rng ~var_pct =
+  if Rng.percent rng var_pct then P.Wild else P.Const (constant rng)
+
+let one rng schema ~max_lhs ~var_pct =
+  let rel = Rng.pick rng (Schema.relations schema) in
+  let attrs = Schema.attribute_names rel in
+  (* Total attributes per CFD between 3 and max_lhs (the paper's "number of
+     attributes in each CFD ranged from 3 to 9"). *)
+  let total = Rng.range rng (min 3 max_lhs) max_lhs in
+  let total = min total (List.length attrs) in
+  let chosen = Rng.sample rng total attrs in
+  match chosen with
+  | rhs :: lhs ->
+    let rhs_pat = pattern rng ~var_pct in
+    let lhs_pats = List.map (fun a -> (a, pattern rng ~var_pct)) lhs in
+    (* A constant-RHS CFD whose LHS is all wildcards asserts a constant
+       column outright (the pair (t,t) in Definition 2.1's semantics); two
+       of those conflict and make Σ inconsistent, which no meaningful
+       workload contains.  Anchor such CFDs with one LHS constant. *)
+    let lhs_pats =
+      match rhs_pat, lhs_pats with
+      | P.Const _, (a0, P.Wild) :: rest
+        when List.for_all (fun (_, p) -> p = P.Wild) lhs_pats ->
+        (a0, P.Const (constant rng)) :: rest
+      | _ -> lhs_pats
+    in
+    Cfds.Cfd.make (Schema.relation_name rel) lhs_pats (rhs, rhs_pat)
+  | [] -> invalid_arg "Cfd_gen: relation with no attributes"
+
+let generate rng ~schema ~count ~max_lhs ~var_pct =
+  List.init count (fun _ -> one rng schema ~max_lhs ~var_pct)

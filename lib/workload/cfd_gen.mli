@@ -1,0 +1,20 @@
+(** CFD generator (Section 5(a)): given a schema and a target count, produce
+    random source CFDs.  [max_lhs] ("LHS") bounds the number of attributes
+    per CFD — the experiments use LHS sizes between 3 and 9 — and [var_pct]
+    ("var%") is the percentage of pattern positions filled with ['_'], the
+    rest drawing random constants from [\[1, 100000\]]. *)
+
+open Relational
+
+val generate :
+  Rng.t ->
+  schema:Schema.db ->
+  count:int ->
+  max_lhs:int ->
+  var_pct:int ->
+  Cfds.Cfd.t list
+
+(** [constant rng] draws a constant from the fixed range [\[1, 100000\]]
+    used throughout Section 5 "such that the domain constraints may interact
+    with each other". *)
+val constant : Rng.t -> Value.t

@@ -1,0 +1,52 @@
+open Relational
+
+let random_value rng domain ~value_range =
+  match domain with
+  | Domain.Finite vs -> Rng.pick rng vs
+  | Domain.Infinite Domain.Dint -> Value.int (Rng.range rng 1 value_range)
+  | Domain.Infinite Domain.Dstr ->
+    Value.str (Printf.sprintf "s%d" (Rng.range rng 1 value_range))
+  | Domain.Infinite Domain.Dbool -> Value.bool (Rng.bool rng)
+
+let instance rng rel ~rows ~value_range =
+  let tuple () =
+    Tuple.make
+      (List.map
+         (fun a -> random_value rng (Attribute.domain a) ~value_range)
+         (Schema.attributes rel))
+  in
+  Relation.make rel (List.init rows (fun _ -> tuple ()))
+
+let database rng schema ~rows ~value_range =
+  Database.make schema
+    (List.map (fun r -> instance rng r ~rows ~value_range) (Schema.relations schema))
+
+let repair_to relation sigma =
+  let mine =
+    List.filter
+      (fun c ->
+        String.equal c.Cfds.Cfd.rel (Schema.relation_name (Relation.schema relation)))
+      sigma
+  in
+  let rec fix rel =
+    let offenders =
+      List.concat_map
+        (fun c ->
+          List.concat_map
+            (fun (t, t') -> [ t; t' ])
+            (Cfds.Cfd.violations rel c))
+        mine
+    in
+    match offenders with
+    | [] -> rel
+    | t :: _ -> fix (Relation.filter (fun u -> not (Tuple.equal t u)) rel)
+  in
+  fix relation
+
+let repair_db db sigma =
+  List.fold_left
+    (fun db rel ->
+      let inst = Database.instance db (Schema.relation_name rel) in
+      Database.with_instance db (repair_to inst sigma))
+    db
+    (Schema.relations (Database.schema db))

@@ -1,0 +1,24 @@
+(** Random instance generator, used by the examples and by the
+    property-based tests that validate decisions and covers against actual
+    data: if [Σ |=_V φ] was decided positively, then every generated
+    [D |= Σ] must have [V(D) |= φ]. *)
+
+open Relational
+
+(** [instance rng rel ~rows ~value_range] generates [rows] random tuples;
+    infinite integer/string columns draw from [\[1, value_range\]] (small
+    ranges create many coincidences, which is what exercises
+    dependencies). *)
+val instance : Rng.t -> Schema.relation -> rows:int -> value_range:int -> Relation.t
+
+(** [database rng schema ~rows ~value_range] generates one instance per
+    relation. *)
+val database : Rng.t -> Schema.db -> rows:int -> value_range:int -> Database.t
+
+(** [repair_to relation sigma] greedily removes tuples until the instance
+    satisfies every CFD of [sigma] defined on it (always terminates: the
+    empty instance satisfies everything). *)
+val repair_to : Relation.t -> Cfds.Cfd.t list -> Relation.t
+
+(** [repair_db db sigma] applies {!repair_to} to every relation. *)
+val repair_db : Database.t -> Cfds.Cfd.t list -> Database.t

@@ -1,0 +1,28 @@
+(** A small deterministic PRNG (splitmix64) so that every generated workload
+    is reproducible from its seed, independent of the OCaml stdlib's
+    generator. *)
+
+type t
+
+val make : int -> t
+
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [percent t p] is true with probability [p]/100. *)
+val percent : t -> int -> bool
+
+(** [pick t xs] picks a uniform element.  Raises on empty lists. *)
+val pick : t -> 'a list -> 'a
+
+(** [sample t n xs] samples [min n (length xs)] distinct elements. *)
+val sample : t -> int -> 'a list -> 'a list
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

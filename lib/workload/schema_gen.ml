@@ -1,0 +1,13 @@
+open Relational
+
+let generate rng ~relations ~min_arity ~max_arity =
+  let rel i =
+    let arity = Rng.range rng min_arity max_arity in
+    let name = Printf.sprintf "S%d" (i + 1) in
+    Schema.relation name
+      (List.init arity (fun j ->
+           Attribute.make (Printf.sprintf "%s_A%d" name (j + 1)) Domain.int))
+  in
+  Schema.db (List.init relations rel)
+
+let default rng = generate rng ~relations:10 ~min_arity:10 ~max_arity:20

@@ -1,0 +1,16 @@
+(** Source schema generator (Section 5, "Experimental Setting"): relational
+    schemas consisting of at least 10 relations, each with 10 to 20
+    attributes.  Attribute domains are infinite integers — the experiments
+    of Section 5 (like the cover algorithm of Section 4) assume the
+    infinite-domain setting, with constants drawn from [\[1, 100000\]]. *)
+
+open Relational
+
+(** [generate rng ~relations ~min_arity ~max_arity] builds a schema with the
+    requested shape.  Relation names are [S1 … Sk]; attribute names are
+    [Si_Aj]. *)
+val generate :
+  Rng.t -> relations:int -> min_arity:int -> max_arity:int -> Schema.db
+
+(** The paper's default shape: 10 relations of 10–20 attributes. *)
+val default : Rng.t -> Schema.db

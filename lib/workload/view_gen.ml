@@ -1,0 +1,33 @@
+open Relational
+
+let generate rng ~schema ~y ~f ~ec =
+  let rels = Schema.relations schema in
+  let atoms =
+    List.init ec (fun j ->
+        let rel = Rng.pick rng rels in
+        let name = Schema.relation_name rel in
+        let renamed =
+          List.map
+            (fun a -> Printf.sprintf "x%d_%s" (j + 1) (Attribute.name a))
+            (Schema.attributes rel)
+        in
+        Spc.atom schema name renamed)
+  in
+  let body = List.concat_map (fun (a : Spc.atom) -> a.Spc.attrs) atoms in
+  let body_names = List.map Attribute.name body in
+  (* One selection atom per sampled attribute: [A = B] (B arbitrary) or
+     [A = 'a'].  Sampling the left-hand attributes without replacement
+     avoids the degenerate [A='a' ∧ A='b'] views that are empty regardless
+     of the sources, while equality chains still let constants interact. *)
+  let lhs_attrs = Rng.sample rng f body_names in
+  let selection =
+    List.map
+      (fun a ->
+        if Rng.bool rng && List.length body_names >= 2 then
+          let b = Rng.pick rng (List.filter (fun x -> x <> a) body_names) in
+          Spc.Sel_eq (a, b)
+        else Spc.Sel_const (a, Cfd_gen.constant rng))
+      lhs_attrs
+  in
+  let projection = Rng.sample rng y body_names in
+  Spc.make_exn ~source:schema ~name:"V" ~selection ~atoms ~projection ()

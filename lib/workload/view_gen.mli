@@ -1,0 +1,10 @@
+(** SPC view generator (Section 5(b)): given a schema and the three
+    complexity knobs, produce a random view [π_Y(σ_F(Ec))] where [Ec] is the
+    product of [ec] (renamed) relations, [F] is a conjunction of [f] domain
+    constraints of the forms [A = B] and [A = 'a'], and [Y] has [y]
+    projection attributes. *)
+
+open Relational
+
+val generate :
+  Rng.t -> schema:Schema.db -> y:int -> f:int -> ec:int -> Spc.t

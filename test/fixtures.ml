@@ -1,0 +1,136 @@
+(* Shared fixtures: the paper's running example (Example 1.1 / Fig. 1).
+
+   Three customer sources R1 (uk), R2 (us), R3 (Netherlands) with the same
+   attributes, integrated by the SPCU view V = Q1 ∪ Q2 ∪ Q3 that adds a
+   country code CC. *)
+
+open Relational
+
+(* Short aliases for the wrapped libraries, shared by all suites via
+   [open Fixtures]. *)
+module Propagate = Propagation.Propagate
+module Emptiness = Propagation.Emptiness
+module Implication = Propagation.Implication
+module Consistency = Propagation.Consistency
+module Mincover = Propagation.Mincover
+module Compute_eq = Propagation.Compute_eq
+module Rbr = Propagation.Rbr
+module Propcover = Propagation.Propcover
+module Closure_method = Propagation.Closure_method
+
+let str = Value.str
+let int = Value.int
+
+let customer_attrs () =
+  [
+    Attribute.make "AC" Domain.string;
+    Attribute.make "phn" Domain.string;
+    Attribute.make "name" Domain.string;
+    Attribute.make "street" Domain.string;
+    Attribute.make "city" Domain.string;
+    Attribute.make "zip" Domain.string;
+  ]
+
+let r1 = Schema.relation "R1" (customer_attrs ())
+let r2 = Schema.relation "R2" (customer_attrs ())
+let r3 = Schema.relation "R3" (customer_attrs ())
+let sources = Schema.db [ r1; r2; r3 ]
+
+(* Source dependencies of Example 1.1. *)
+let f1 = Cfds.Cfd.fd "R1" [ "zip" ] "street"
+let f2 = Cfds.Cfd.fd "R1" [ "AC" ] "city"
+let f3 = Cfds.Cfd.fd "R3" [ "AC" ] "city"
+
+let cfd1 =
+  Cfds.Cfd.make "R1"
+    [ ("AC", Cfds.Pattern.Const (str "20")) ]
+    ("city", Cfds.Pattern.Const (str "LDN"))
+
+let cfd2 =
+  Cfds.Cfd.make "R3"
+    [ ("AC", Cfds.Pattern.Const (str "20")) ]
+    ("city", Cfds.Pattern.Const (str "Amsterdam"))
+
+(* The view branches Qi: all source attributes plus CC = country code. *)
+let branch base cc =
+  let names = [ "AC"; "phn"; "name"; "street"; "city"; "zip" ] in
+  Spc.make_exn ~source:sources ~name:"V"
+    ~constants:[ (Attribute.make "CC" Domain.string, str cc) ]
+    ~atoms:[ Spc.atom sources base names ]
+    ~projection:("CC" :: names)
+    ()
+
+let q1 = branch "R1" "44"
+let q2 = branch "R2" "01"
+let q3 = branch "R3" "31"
+let view = Spcu.make_exn ~name:"V" [ q1; q2; q3 ]
+
+(* The view CFDs of Examples 1.1 and 2.1. *)
+let wild = Cfds.Pattern.Wild
+let const s = Cfds.Pattern.Const (str s)
+
+let phi1 = Cfds.Cfd.make "V" [ ("CC", const "44"); ("zip", wild) ] ("street", wild)
+let phi2 = Cfds.Cfd.make "V" [ ("CC", const "44"); ("AC", wild) ] ("city", wild)
+let phi3 = Cfds.Cfd.make "V" [ ("CC", const "31"); ("AC", wild) ] ("city", wild)
+
+let phi4 =
+  Cfds.Cfd.make "V" [ ("CC", const "44"); ("AC", const "20") ] ("city", const "LDN")
+
+let phi5 =
+  Cfds.Cfd.make "V"
+    [ ("CC", const "31"); ("AC", const "20") ]
+    ("city", const "Amsterdam")
+
+(* ϕ6 of the applications discussion: CC, AC, phn → street (one attribute of
+   the paper's multi-attribute RHS), not propagated. *)
+let phi6 =
+  Cfds.Cfd.make "V"
+    [ ("CC", wild); ("AC", wild); ("phn", wild) ]
+    ("street", wild)
+
+(* The instances of Fig. 1. *)
+let tuple vals = Tuple.make (List.map str vals)
+
+let d1 =
+  Relation.make r1
+    [
+      tuple [ "20"; "1234567"; "Mike"; "Portland"; "LDN"; "W1B 1JL" ];
+      tuple [ "20"; "3456789"; "Rick"; "Portland"; "LDN"; "W1B 1JL" ];
+    ]
+
+let d2 =
+  Relation.make r2
+    [
+      tuple [ "610"; "3456789"; "Joe"; "Copley"; "Darby"; "19082" ];
+      tuple [ "610"; "1234567"; "Mary"; "Walnut"; "Darby"; "19082" ];
+    ]
+
+let d3 =
+  Relation.make r3
+    [
+      tuple [ "20"; "3456789"; "Marx"; "Kruise"; "Amsterdam"; "1096" ];
+      tuple [ "36"; "1234567"; "Bart"; "Grote"; "Almere"; "1316" ];
+    ]
+
+let fig1_db = Database.make sources [ d1; d2; d3 ]
+
+(* Small generic helpers used across suites. *)
+
+let ab_schema ?(name = "R") ?(domains = [ Domain.string; Domain.string ]) () =
+  match domains with
+  | [ da; db ] ->
+    Schema.relation name [ Attribute.make "A" da; Attribute.make "B" db ]
+  | _ -> invalid_arg "ab_schema"
+
+let abc_schema ?(name = "R") () =
+  Schema.relation name
+    [
+      Attribute.make "A" Domain.string;
+      Attribute.make "B" Domain.string;
+      Attribute.make "C" Domain.string;
+    ]
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfd_testable = Alcotest.testable Cfds.Cfd.pp Cfds.Cfd.equal

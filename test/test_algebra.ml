@@ -1,0 +1,214 @@
+(* Relational algebra: schema inference, evaluation, SPC normalisation. *)
+
+open Relational
+open Fixtures
+module A = Algebra
+
+let s_schema =
+  Schema.relation "S"
+    [
+      Attribute.make "A" Domain.string;
+      Attribute.make "B" Domain.string;
+    ]
+
+let t_schema =
+  Schema.relation "T"
+    [
+      Attribute.make "C" Domain.string;
+      Attribute.make "D" Domain.string;
+    ]
+
+let db_schema = Schema.db [ s_schema; t_schema ]
+
+let s_inst =
+  Relation.make s_schema
+    [
+      Tuple.make [ str "a1"; str "b1" ];
+      Tuple.make [ str "a2"; str "b2" ];
+      Tuple.make [ str "a3"; str "b1" ];
+    ]
+
+let t_inst =
+  Relation.make t_schema
+    [ Tuple.make [ str "c1"; str "d1" ]; Tuple.make [ str "c2"; str "d2" ] ]
+
+let db = Database.make db_schema [ s_inst; t_inst ]
+let eval q = Algebra.eval db_schema q db ~name:"Q"
+
+let test_select () =
+  let q = A.Select (A.Eq_const ("B", str "b1"), A.Relation "S") in
+  check_int "two rows" 2 (Relation.cardinality (eval q))
+
+let test_select_compound () =
+  let q =
+    A.Select
+      ( A.And (A.Eq_const ("B", str "b1"), A.Not (A.Eq_const ("A", str "a1"))),
+        A.Relation "S" )
+  in
+  check_int "one row" 1 (Relation.cardinality (eval q));
+  let q_or =
+    A.Select
+      (A.Or (A.Eq_const ("A", str "a1"), A.Eq_const ("A", str "a2")), A.Relation "S")
+  in
+  check_int "or gives two" 2 (Relation.cardinality (eval q_or))
+
+let test_project () =
+  let q = A.Project ([ "B" ], A.Relation "S") in
+  (* b1 appears twice: set semantics deduplicate. *)
+  check_int "dedup after projection" 2 (Relation.cardinality (eval q))
+
+let test_product () =
+  let q = A.Product (A.Relation "S", A.Relation "T") in
+  check_int "3*2 rows" 6 (Relation.cardinality (eval q));
+  check_int "arity 4" 4 (Schema.arity (Relation.schema (eval q)))
+
+let test_product_clash () =
+  let q = A.Product (A.Relation "S", A.Relation "S") in
+  match A.output_schema db_schema q ~name:"Q" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self-product without renaming must clash"
+
+let test_rename () =
+  let q =
+    A.Product
+      (A.Relation "S", A.Rename ([ ("A", "A2"); ("B", "B2") ], A.Relation "S"))
+  in
+  check_int "renamed self-product" 9 (Relation.cardinality (eval q))
+
+let test_union_diff () =
+  let q1 = A.Select (A.Eq_const ("B", str "b1"), A.Relation "S") in
+  let q2 = A.Select (A.Eq_const ("B", str "b2"), A.Relation "S") in
+  check_int "union" 3 (Relation.cardinality (eval (A.Union (q1, q2))));
+  check_int "diff" 2
+    (Relation.cardinality (eval (A.Difference (A.Relation "S", q2))))
+
+let test_union_incompatible () =
+  match A.output_schema db_schema (A.Union (A.Relation "S", A.Relation "T")) ~name:"Q" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incompatible union accepted"
+
+let test_eval_pred () =
+  let t = Tuple.make [ str "a1"; str "b1" ] in
+  check_bool "eq attr false" false (A.eval_pred s_schema (A.Eq_attr ("A", "B")) t);
+  check_bool "true" true (A.eval_pred s_schema A.True t);
+  check_bool "false" false (A.eval_pred s_schema A.False t)
+
+let test_conjuncts () =
+  let p = A.And (A.Eq_attr ("A", "B"), A.And (A.Eq_const ("A", str "x"), A.True)) in
+  (match A.conjuncts p with
+   | Some cs -> check_int "two atoms" 2 (List.length cs)
+   | None -> Alcotest.fail "conjunction expected");
+  check_bool "disjunction rejected" true
+    (A.conjuncts (A.Or (A.True, A.True)) = None)
+
+(* --- SPC round trips --------------------------------------------------- *)
+
+let test_spc_eval_equals_algebra_eval () =
+  let v =
+    Spc.make_exn ~source:db_schema ~name:"Q"
+      ~selection:[ Spc.Sel_const ("B", str "b1") ]
+      ~atoms:[ Spc.atom db_schema "S" [ "A"; "B" ]; Spc.atom db_schema "T" [ "C"; "D" ] ]
+      ~projection:[ "A"; "C" ] ()
+  in
+  let direct = Spc.eval v db in
+  let via_algebra = Algebra.eval db_schema (Spc.to_algebra v) db ~name:"Q" in
+  check_bool "same result" true (Relation.equal direct via_algebra)
+
+let test_of_algebra_roundtrip () =
+  let q =
+    A.Project
+      ( [ "A"; "C" ],
+        A.Select
+          ( A.And (A.Eq_const ("B", str "b1"), A.Eq_attr ("A", "A")),
+            A.Product (A.Relation "S", A.Relation "T") ) )
+  in
+  match Spc.of_algebra db_schema ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    let direct = Algebra.eval db_schema q db ~name:"Q" in
+    check_bool "normalisation preserves semantics" true
+      (Relation.equal direct (Spc.eval v db))
+
+let test_of_algebra_union () =
+  let q =
+    A.Union
+      ( A.Select (A.Eq_const ("B", str "b1"), A.Relation "S"),
+        A.Select (A.Eq_const ("B", str "b2"), A.Relation "S") )
+  in
+  match Spcu.of_algebra db_schema ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    check_int "two branches" 2 (List.length v.Spcu.branches);
+    let direct = Algebra.eval db_schema q db ~name:"Q" in
+    check_bool "same semantics" true (Relation.equal direct (Spcu.eval v db))
+
+let test_of_algebra_rejects_difference () =
+  match
+    Spcu.of_algebra db_schema ~name:"Q"
+      (A.Difference (A.Relation "S", A.Relation "S"))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "difference is not SPCU"
+
+let test_of_algebra_constant_relation () =
+  let cc = Schema.relation "K" [ Attribute.make "CC" Domain.string ] in
+  let q = A.Product (A.Constant (cc, [ Tuple.make [ str "44" ] ]), A.Relation "S") in
+  match Spc.of_algebra db_schema ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    check_int "one constant" 1 (List.length v.Spc.constants);
+    let out = Spc.eval v db in
+    check_int "3 rows" 3 (Relation.cardinality out)
+
+let test_fragment_classification () =
+  let v =
+    Spc.make_exn ~source:db_schema ~name:"Q"
+      ~selection:[ Spc.Sel_const ("B", str "b1") ]
+      ~atoms:[ Spc.atom db_schema "S" [ "A"; "B" ] ]
+      ~projection:[ "A" ] ()
+  in
+  let f = Spc.fragment v in
+  check_bool "S" true f.Spc.has_s;
+  check_bool "P" true f.Spc.has_p;
+  check_bool "no C" false f.Spc.has_c;
+  Alcotest.(check string) "name" "SP" (Spc.fragment_name f)
+
+let test_spc_validation () =
+  (* Projection must cover constants; selections must reference the body. *)
+  (match
+     Spc.make ~source:db_schema ~name:"Q"
+       ~constants:[ (Attribute.make "K" Domain.string, str "v") ]
+       ~atoms:[ Spc.atom db_schema "S" [ "A"; "B" ] ]
+       ~projection:[ "A" ] ()
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unprojected constant accepted");
+  match
+    Spc.make ~source:db_schema ~name:"Q"
+      ~selection:[ Spc.Sel_const ("Z", str "v") ]
+      ~atoms:[ Spc.atom db_schema "S" [ "A"; "B" ] ]
+      ~projection:[ "A" ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "selection on unknown attribute accepted"
+
+let suite =
+  [
+    ("selection", `Quick, test_select);
+    ("compound predicates", `Quick, test_select_compound);
+    ("projection dedup", `Quick, test_project);
+    ("product", `Quick, test_product);
+    ("product name clash", `Quick, test_product_clash);
+    ("rename", `Quick, test_rename);
+    ("union and difference", `Quick, test_union_diff);
+    ("incompatible union", `Quick, test_union_incompatible);
+    ("predicate evaluation", `Quick, test_eval_pred);
+    ("conjunct extraction", `Quick, test_conjuncts);
+    ("SPC eval = algebra eval", `Quick, test_spc_eval_equals_algebra_eval);
+    ("of_algebra roundtrip", `Quick, test_of_algebra_roundtrip);
+    ("of_algebra union", `Quick, test_of_algebra_union);
+    ("difference rejected", `Quick, test_of_algebra_rejects_difference);
+    ("constant relations", `Quick, test_of_algebra_constant_relation);
+    ("fragment classification", `Quick, test_fragment_classification);
+    ("SPC validation", `Quick, test_spc_validation);
+  ]

@@ -1,0 +1,191 @@
+(* The chase engine, tableaux and finite-domain instantiation. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+module Term = Chase.Term
+module Engine = Chase.Engine
+module Tableau = Chase.Tableau
+module Instantiate = Chase.Instantiate
+
+let r_schema = abc_schema ()
+
+let row terms = { Engine.rel = r_schema; Engine.terms = Array.of_list terms }
+let v i = Term.V i
+let c s = Term.C (str s)
+
+let resolve_of = function
+  | Engine.Fixpoint (_, res) -> res
+  | Engine.Failed -> Alcotest.fail "unexpected chase failure"
+
+let test_fd_merges () =
+  (* Two rows agreeing on A: FD A->B merges the B terms. *)
+  let inst = [ row [ v 1; v 2; v 3 ]; row [ v 1; v 4; v 5 ] ] in
+  let res = resolve_of (Engine.run [ C.fd "R" [ "A" ] "B" ] inst) in
+  check_bool "B merged" true (Term.equal (res (v 2)) (res (v 4)));
+  check_bool "C untouched" false (Term.equal (res (v 3)) (res (v 5)))
+
+let test_fd_conflict () =
+  let inst = [ row [ v 1; c "x"; v 3 ]; row [ v 1; c "y"; v 5 ] ] in
+  match Engine.run [ C.fd "R" [ "A" ] "B" ] inst with
+  | Engine.Failed -> ()
+  | Engine.Fixpoint _ -> Alcotest.fail "constant conflict must fail"
+
+let test_constant_rhs_binds () =
+  let inst = [ row [ c "a"; v 2; v 3 ] ] in
+  let cfd = C.make "R" [ ("A", const "a") ] ("B", const "b") in
+  let res = resolve_of (Engine.run [ cfd ] inst) in
+  check_bool "bound to b" true (Term.equal (res (v 2)) (c "b"))
+
+let test_variable_does_not_match_constant () =
+  (* The premise A='a' must not fire on an unconstrained variable. *)
+  let inst = [ row [ v 1; v 2; v 3 ] ] in
+  let cfd = C.make "R" [ ("A", const "a") ] ("B", const "b") in
+  let res = resolve_of (Engine.run [ cfd ] inst) in
+  check_bool "B stays a variable" true (Term.is_var (res (v 2)))
+
+let test_attr_eq_rule () =
+  let inst = [ row [ v 1; v 2; v 3 ] ] in
+  let res = resolve_of (Engine.run [ C.attr_eq "R" "A" "B" ] inst) in
+  check_bool "A=B merged" true (Term.equal (res (v 1)) (res (v 2)))
+
+let test_transitive_chain () =
+  let inst = [ row [ v 1; v 2; v 3 ]; row [ v 1; v 4; v 5 ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C" ] in
+  let res = resolve_of (Engine.run sigma inst) in
+  check_bool "C merged transitively" true (Term.equal (res (v 3)) (res (v 5)))
+
+let test_empty_lhs_merges_all () =
+  let inst = [ row [ v 1; v 2; v 3 ]; row [ v 4; v 5; v 6 ] ] in
+  let res = resolve_of (Engine.run [ C.make "R" [] ("A", P.Wild) ] inst) in
+  check_bool "A column merged" true (Term.equal (res (v 1)) (res (v 4)))
+
+let test_to_database_realisation () =
+  let inst = [ row [ v 1; v 2; v 2 ]; row [ v 1; v 3; c "k" ] ] in
+  let db =
+    Engine.to_database (Schema.db [ r_schema ]) inst ~extra_avoid:[]
+      ~var_avoid:[] ~distinct_vars:[]
+  in
+  let rel = Database.instance db "R" in
+  check_int "two tuples" 2 (Relation.cardinality rel);
+  (* Shared variables realise to shared values; distinct ones stay distinct. *)
+  let ts = Relation.tuples rel in
+  let col i = List.map (fun t -> (t : Tuple.t).(i)) ts in
+  check_int "A column single value" 1
+    (List.length (List.sort_uniq Value.compare (col 0)));
+  check_int "B column two values" 2
+    (List.length (List.sort_uniq Value.compare (col 1)))
+
+let test_to_database_var_avoid () =
+  let inst = [ row [ v 1; v 2; v 3 ] ] in
+  let db =
+    Engine.to_database (Schema.db [ r_schema ]) inst ~extra_avoid:[]
+      ~var_avoid:[ (2, [ str "forbidden" ]) ]
+      ~distinct_vars:[]
+  in
+  let t = List.hd (Relation.tuples (Database.instance db "R")) in
+  check_bool "avoided" false (Value.equal t.(1) (str "forbidden"))
+
+(* --- Tableaux ---------------------------------------------------------- *)
+
+let sel_db = Schema.db [ r_schema ]
+
+let test_tableau_selection_unifies () =
+  let view =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("A", "B"); Spc.Sel_const ("C", str "k") ]
+      ~atoms:[ Spc.atom sel_db "R" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let gen = Term.make_gen () in
+  match Tableau.of_spc ~gen view with
+  | Error `Statically_empty -> Alcotest.fail "not empty"
+  | Ok t ->
+    check_bool "A and B share a term" true
+      (Term.equal (Tableau.summary_term t "A") (Tableau.summary_term t "B"));
+    check_bool "C is the constant" true
+      (Term.equal (Tableau.summary_term t "C") (c "k"))
+
+let test_tableau_static_conflict () =
+  let view =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "x"); Spc.Sel_const ("A", str "y") ]
+      ~atoms:[ Spc.atom sel_db "R" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A" ] ()
+  in
+  let gen = Term.make_gen () in
+  check_bool "statically empty" true (Tableau.of_spc ~gen view = Error `Statically_empty)
+
+let test_tableau_refresh_disjoint () =
+  let view =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~atoms:[ Spc.atom sel_db "R" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let gen = Term.make_gen () in
+  match Tableau.of_spc ~gen view with
+  | Error _ -> Alcotest.fail "not empty"
+  | Ok t ->
+    let t' = Tableau.refresh ~gen t in
+    check_bool "fresh vars" false
+      (Term.equal (Tableau.summary_term t "A") (Tableau.summary_term t' "A"))
+
+(* --- Instantiation ------------------------------------------------------ *)
+
+let bool_schema =
+  Schema.relation "F"
+    [ Attribute.make "P" Domain.boolean; Attribute.make "Q" Domain.string ]
+
+let frow terms = { Engine.rel = bool_schema; Engine.terms = Array.of_list terms }
+
+let test_finite_vars_detection () =
+  let inst = [ frow [ v 1; v 2 ] ] in
+  let fv = Instantiate.finite_vars inst in
+  check_int "only P's var" 1 (List.length fv);
+  check_bool "var 1" true (List.mem_assoc 1 fv);
+  check_int "two candidates" 2 (List.length (List.assoc 1 fv))
+
+let test_enumerate_count () =
+  let inst = [ frow [ v 1; v 2 ]; frow [ v 3; v 4 ] ] in
+  let fv = Instantiate.finite_vars inst in
+  check_int "4 instantiations" 4 (Instantiate.count fv);
+  check_int "sequence length" 4 (List.length (List.of_seq (Instantiate.enumerate fv inst)));
+  (* Each produced instance has constants for P. *)
+  Seq.iter
+    (fun (_, rows) ->
+      List.iter
+        (fun (r : Engine.row) ->
+          check_bool "P instantiated" false (Term.is_var r.Engine.terms.(0)))
+        rows)
+    (Instantiate.enumerate fv inst)
+
+let test_intersection_of_domains () =
+  let d12 = Domain.finite [ int 1; int 2 ] in
+  let d23 = Domain.finite [ int 2; int 3 ] in
+  let s =
+    Schema.relation "G" [ Attribute.make "X" d12; Attribute.make "Y" d23 ]
+  in
+  let inst = [ { Engine.rel = s; Engine.terms = [| v 1; v 1 |] } ] in
+  let fv = Instantiate.finite_vars inst in
+  check_int "single candidate 2" 1 (List.length (List.assoc 1 fv));
+  check_bool "it is 2" true (Value.equal (List.hd (List.assoc 1 fv)) (int 2))
+
+let suite =
+  [
+    ("FD merges", `Quick, test_fd_merges);
+    ("FD constant conflict", `Quick, test_fd_conflict);
+    ("constant RHS binds", `Quick, test_constant_rhs_binds);
+    ("variables do not match constants", `Quick, test_variable_does_not_match_constant);
+    ("attr-eq rule", `Quick, test_attr_eq_rule);
+    ("transitive chains", `Quick, test_transitive_chain);
+    ("empty LHS merges a column", `Quick, test_empty_lhs_merges_all);
+    ("realisation of fixpoints", `Quick, test_to_database_realisation);
+    ("realisation respects var_avoid", `Quick, test_to_database_var_avoid);
+    ("tableau selection unification", `Quick, test_tableau_selection_unifies);
+    ("tableau static conflict", `Quick, test_tableau_static_conflict);
+    ("tableau refresh", `Quick, test_tableau_refresh_disjoint);
+    ("finite variable detection", `Quick, test_finite_vars_detection);
+    ("enumeration", `Quick, test_enumerate_count);
+    ("domain intersection", `Quick, test_intersection_of_domains);
+  ]

@@ -1,0 +1,154 @@
+(* Conditional inclusion dependencies (the Section 7 extension). *)
+
+open Relational
+open Fixtures
+module Cind = Cfds.Cind
+
+let orders =
+  Schema.relation "Orders"
+    [
+      Attribute.make "oid" Domain.string;
+      Attribute.make "cust" Domain.string;
+      Attribute.make "status" Domain.string;
+    ]
+
+let customers =
+  Schema.relation "Customers"
+    [ Attribute.make "id" Domain.string; Attribute.make "tier" Domain.string ]
+
+let db_schema = Schema.db [ orders; customers ]
+
+let db ~orders:o ~customers:c =
+  Database.make db_schema
+    [
+      Relation.make orders (List.map (fun vs -> Tuple.make (List.map str vs)) o);
+      Relation.make customers (List.map (fun vs -> Tuple.make (List.map str vs)) c);
+    ]
+
+let active_cind =
+  Cind.make
+    ~lhs:{ Cind.rel = "Orders"; attrs = [ "cust" ]; condition = [ ("status", str "active") ] }
+    ~rhs:{ Cind.rel = "Customers"; attrs = [ "id" ]; condition = [] }
+
+let gold_cind =
+  Cind.make
+    ~lhs:{ Cind.rel = "Orders"; attrs = [ "cust" ]; condition = [ ("status", str "active") ] }
+    ~rhs:{ Cind.rel = "Customers"; attrs = [ "id" ]; condition = [ ("tier", str "gold") ] }
+
+let test_plain_ind () =
+  let c = Cind.ind "Orders" [ "cust" ] "Customers" [ "id" ] in
+  let good = db ~orders:[ [ "o1"; "c1"; "done" ] ] ~customers:[ [ "c1"; "gold" ] ] in
+  let bad = db ~orders:[ [ "o1"; "cX"; "done" ] ] ~customers:[ [ "c1"; "gold" ] ] in
+  check_bool "satisfied" true (Cind.satisfies good c);
+  check_bool "violated" false (Cind.satisfies bad c);
+  check_int "one orphan" 1 (List.length (Cind.violations bad c))
+
+let test_lhs_condition_scopes () =
+  (* Only active orders need a customer. *)
+  let d =
+    db
+      ~orders:[ [ "o1"; "cX"; "cancelled" ]; [ "o2"; "c1"; "active" ] ]
+      ~customers:[ [ "c1"; "silver" ] ]
+  in
+  check_bool "inactive orphan tolerated" true (Cind.satisfies d active_cind);
+  let d2 =
+    db ~orders:[ [ "o1"; "cX"; "active" ] ] ~customers:[ [ "c1"; "silver" ] ]
+  in
+  check_bool "active orphan flagged" false (Cind.satisfies d2 active_cind)
+
+let test_rhs_condition_required () =
+  (* The matching customer must be gold. *)
+  let silver =
+    db ~orders:[ [ "o1"; "c1"; "active" ] ] ~customers:[ [ "c1"; "silver" ] ]
+  in
+  let gold =
+    db ~orders:[ [ "o1"; "c1"; "active" ] ] ~customers:[ [ "c1"; "gold" ] ]
+  in
+  check_bool "silver target rejected" false (Cind.satisfies silver gold_cind);
+  check_bool "gold target accepted" true (Cind.satisfies gold gold_cind)
+
+let test_empty_instances () =
+  let none = db ~orders:[] ~customers:[] in
+  check_bool "vacuously satisfied" true (Cind.satisfies none active_cind)
+
+let test_multi_attribute_correspondence () =
+  let r1 =
+    Schema.relation "A"
+      [ Attribute.make "x" Domain.string; Attribute.make "y" Domain.string ]
+  in
+  let r2 =
+    Schema.relation "B"
+      [ Attribute.make "u" Domain.string; Attribute.make "v" Domain.string ]
+  in
+  let s = Schema.db [ r1; r2 ] in
+  let c = Cind.ind "A" [ "x"; "y" ] "B" [ "u"; "v" ] in
+  let mk a b =
+    Database.make s
+      [
+        Relation.make r1 (List.map (fun vs -> Tuple.make (List.map str vs)) a);
+        Relation.make r2 (List.map (fun vs -> Tuple.make (List.map str vs)) b);
+      ]
+  in
+  check_bool "pairwise match" true
+    (Cind.satisfies (mk [ [ "1"; "2" ] ] [ [ "1"; "2" ] ]) c);
+  (* Component-wise presence is not enough: (1,2) ⊄ {(1,9),(9,2)}. *)
+  check_bool "no cross matching" false
+    (Cind.satisfies (mk [ [ "1"; "2" ] ] [ [ "1"; "9" ]; [ "9"; "2" ] ]) c)
+
+let test_validation () =
+  (try
+     ignore (Cind.ind "A" [ "x"; "y" ] "B" [ "u" ]);
+     Alcotest.fail "length mismatch accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Cind.make
+         ~lhs:{ Cind.rel = "A"; attrs = [ "x"; "x" ]; condition = [] }
+         ~rhs:{ Cind.rel = "B"; attrs = [ "u"; "v" ]; condition = [] });
+    Alcotest.fail "duplicate attr accepted"
+  with Invalid_argument _ -> ()
+
+let test_syntax_roundtrip () =
+  let text =
+    "schema Orders(oid: string, cust: string, status: string);\n\
+     schema Customers(id: string, tier: string);\n\
+     cind Orders([cust]; [status='active']) <= Customers([id]; [tier='gold']);\n\
+     data Orders = ('o1', 'c1', 'active');\n\
+     data Customers = ('c1', 'gold');"
+  in
+  match Syntax.Parser.parse_document text with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok d ->
+    check_int "one cind" 1 (List.length d.Syntax.Parser.cinds);
+    check_int "data loaded" 1
+      (Relation.cardinality (Database.instance d.Syntax.Parser.data "Orders"));
+    check_bool "cind holds on data" true
+      (Cind.satisfies d.Syntax.Parser.data (List.hd d.Syntax.Parser.cinds));
+    (* Round-trip through the printer. *)
+    let printed = Fmt.str "%a" Syntax.Parser.print_document d in
+    (match Syntax.Parser.parse_document printed with
+     | Ok d2 ->
+       check_int "cind survives roundtrip" 1 (List.length d2.Syntax.Parser.cinds);
+       check_int "data survives roundtrip" 1
+         (Relation.cardinality (Database.instance d2.Syntax.Parser.data "Customers"))
+     | Error m -> Alcotest.failf "reparse: %s" m)
+
+let test_syntax_validation () =
+  let bad =
+    "schema A(x: string);\ncind A([x]; []) <= B([y]; []);"
+  in
+  match Syntax.Parser.parse_document bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown relation accepted"
+
+let suite =
+  [
+    ("plain IND", `Quick, test_plain_ind);
+    ("LHS condition scopes the check", `Quick, test_lhs_condition_scopes);
+    ("RHS condition constrains the target", `Quick, test_rhs_condition_required);
+    ("empty instances", `Quick, test_empty_instances);
+    ("multi-attribute correspondence", `Quick, test_multi_attribute_correspondence);
+    ("construction validation", `Quick, test_validation);
+    ("syntax roundtrip with data", `Quick, test_syntax_roundtrip);
+    ("syntax validation", `Quick, test_syntax_validation);
+  ]

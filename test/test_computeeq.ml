@@ -1,0 +1,151 @@
+(* ComputeEQ: attribute equivalence classes and keys (Section 4.2). *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let body =
+  [
+    Attribute.make "A" Domain.string;
+    Attribute.make "B" Domain.string;
+    Attribute.make "C" Domain.string;
+    Attribute.make "D" Domain.string;
+  ]
+
+let classes_of = function
+  | Compute_eq.Classes cs -> cs
+  | Compute_eq.Bottom -> Alcotest.fail "unexpected bottom"
+
+let find_class cs a =
+  match Compute_eq.class_of cs a with
+  | Some c -> c
+  | None -> Alcotest.failf "no class for %s" a
+
+let test_selection_equalities () =
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body
+         ~selection:[ Spc.Sel_eq ("A", "B"); Spc.Sel_eq ("B", "C") ]
+         ~sigma:[])
+  in
+  let c = find_class cs "A" in
+  Alcotest.(check (list string)) "A,B,C merged" [ "A"; "B"; "C" ] c.Compute_eq.attrs;
+  check_int "two classes" 2 (List.length cs)
+
+let test_selection_keys () =
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body
+         ~selection:[ Spc.Sel_eq ("A", "B"); Spc.Sel_const ("B", str "k") ]
+         ~sigma:[])
+  in
+  let c = find_class cs "A" in
+  check_bool "keyed" true (c.Compute_eq.key = Some (str "k"))
+
+let test_conflicting_keys_bottom () =
+  let r =
+    Compute_eq.compute ~body
+      ~selection:
+        [ Spc.Sel_eq ("A", "B"); Spc.Sel_const ("A", str "x"); Spc.Sel_const ("B", str "y") ]
+      ~sigma:[]
+  in
+  check_bool "bottom" true (r = Compute_eq.Bottom)
+
+let test_cfd_closure_keys () =
+  (* A='a' plus CFD ([A='a'] → B='b') keys B's class. *)
+  let sigma = [ C.make "V" [ ("A", const "a") ] ("B", const "b") ] in
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body ~selection:[ Spc.Sel_const ("A", str "a") ] ~sigma)
+  in
+  check_bool "B keyed via CFD" true
+    ((find_class cs "B").Compute_eq.key = Some (str "b"))
+
+let test_cfd_closure_chains () =
+  (* Keys propagate transitively through CFDs. *)
+  let sigma =
+    [
+      C.make "V" [ ("A", const "a") ] ("B", const "b");
+      C.make "V" [ ("B", const "b") ] ("C", const "c");
+    ]
+  in
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body ~selection:[ Spc.Sel_const ("A", str "a") ] ~sigma)
+  in
+  check_bool "C keyed transitively" true
+    ((find_class cs "C").Compute_eq.key = Some (str "c"))
+
+let test_cfd_key_mismatch_no_fire () =
+  (* The CFD needs A='a'; the selection pins A='z': no firing, no bottom. *)
+  let sigma = [ C.make "V" [ ("A", const "a") ] ("B", const "b") ] in
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body ~selection:[ Spc.Sel_const ("A", str "z") ] ~sigma)
+  in
+  check_bool "B not keyed" true ((find_class cs "B").Compute_eq.key = None)
+
+let test_cfd_conflict_bottom () =
+  (* Example 3.1 in EQ terms: Σ forces B='b1', selection forces B='b2'. *)
+  let sigma = [ C.make "V" [ ("A", P.Wild) ] ("B", const "b1") ] in
+  let r =
+    Compute_eq.compute ~body ~selection:[ Spc.Sel_const ("B", str "b2") ] ~sigma
+  in
+  (* The CFD's LHS is wildcard but A has no key, so it does not fire; a
+     Σ-level emptiness needs the chase (Emptiness), not ComputeEQ.  With an
+     empty LHS, however, the conflict is visible: *)
+  check_bool "wild-lhs does not fire" true (r <> Compute_eq.Bottom);
+  let sigma' = [ C.make "V" [] ("B", const "b1") ] in
+  let r' =
+    Compute_eq.compute ~body ~selection:[ Spc.Sel_const ("B", str "b2") ] ~sigma:sigma'
+  in
+  check_bool "empty-lhs fires to bottom" true (r' = Compute_eq.Bottom)
+
+let test_representatives_prefer_y () =
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body ~selection:[ Spc.Sel_eq ("A", "B") ] ~sigma:[])
+  in
+  let reps = Compute_eq.representatives cs ~prefer:[ "B"; "C" ] in
+  check_bool "A maps to B" true (List.assoc "A" reps = "B");
+  check_bool "B maps to B" true (List.assoc "B" reps = "B")
+
+let test_eq2cfd () =
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body
+         ~selection:
+           [ Spc.Sel_eq ("A", "B"); Spc.Sel_eq ("C", "D"); Spc.Sel_const ("C", str "k") ]
+         ~sigma:[])
+  in
+  let cfds = Compute_eq.to_cfds ~view:"V" ~y:[ "A"; "B"; "C"; "D" ] cs in
+  check_bool "A=B as attr-eq CFD" true
+    (List.exists (fun c -> C.equal c (C.attr_eq "V" "A" "B")) cfds);
+  check_bool "C keyed binding" true
+    (List.exists (fun c -> C.equal c (C.const_binding "V" "C" (str "k"))) cfds);
+  check_bool "D keyed binding" true
+    (List.exists (fun c -> C.equal c (C.const_binding "V" "D" (str "k"))) cfds)
+
+let test_eq2cfd_restricts_to_y () =
+  let cs =
+    classes_of
+      (Compute_eq.compute ~body ~selection:[ Spc.Sel_eq ("A", "B") ] ~sigma:[])
+  in
+  let cfds = Compute_eq.to_cfds ~view:"V" ~y:[ "A"; "C" ] cs in
+  check_bool "no CFD mentions B" true
+    (List.for_all (fun c -> not (List.mem "B" (C.attrs c))) cfds)
+
+let suite =
+  [
+    ("selection equalities", `Quick, test_selection_equalities);
+    ("selection keys", `Quick, test_selection_keys);
+    ("conflicting keys give bottom", `Quick, test_conflicting_keys_bottom);
+    ("CFD closure keys classes", `Quick, test_cfd_closure_keys);
+    ("CFD closure chains", `Quick, test_cfd_closure_chains);
+    ("non-matching keys do not fire", `Quick, test_cfd_key_mismatch_no_fire);
+    ("CFD conflicts give bottom", `Quick, test_cfd_conflict_bottom);
+    ("representatives prefer Y", `Quick, test_representatives_prefer_y);
+    ("EQ2CFD output", `Quick, test_eq2cfd);
+    ("EQ2CFD restricted to Y", `Quick, test_eq2cfd_restricts_to_y);
+  ]

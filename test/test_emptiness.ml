@@ -1,0 +1,130 @@
+(* The emptiness and consistency problems (Section 3.3). *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let s_schema = abc_schema ~name:"S" ()
+let db = Schema.db [ s_schema ]
+
+let view ?selection () =
+  Spc.make_exn ~source:db ~name:"W" ?selection
+    ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+    ~projection:[ "A"; "B"; "C" ] ()
+
+let test_example_3_1 () =
+  (* φ = (A → B, (_ ‖ b1)), V = σ_{B=b2}: always empty. *)
+  let sigma = [ C.make "S" [ ("A", P.Wild) ] ("B", const "b1") ] in
+  let v = view ~selection:[ Spc.Sel_const ("B", str "b2") ] () in
+  (match Emptiness.check_spc v ~sigma with
+   | Emptiness.Empty -> ()
+   | _ -> Alcotest.fail "Example 3.1 must be empty");
+  (* With B = b1 the view is realisable. *)
+  let v' = view ~selection:[ Spc.Sel_const ("B", str "b1") ] () in
+  match Emptiness.check_spc v' ~sigma with
+  | Emptiness.Nonempty w ->
+    check_bool "witness satisfies sigma" true
+      (C.satisfies (Database.instance w "S") (List.hd sigma));
+    check_bool "witness view nonempty" false (Relation.is_empty (Spc.eval v' w))
+  | _ -> Alcotest.fail "realisable view"
+
+let test_plain_view_nonempty () =
+  match Emptiness.check_spc (view ()) ~sigma:[] with
+  | Emptiness.Nonempty _ -> ()
+  | _ -> Alcotest.fail "unconstrained views are nonempty"
+
+let test_static_conflict_empty () =
+  let v =
+    view ~selection:[ Spc.Sel_const ("A", str "x"); Spc.Sel_const ("A", str "y") ] ()
+  in
+  match Emptiness.check_spc v ~sigma:[] with
+  | Emptiness.Empty -> ()
+  | _ -> Alcotest.fail "static conflict"
+
+let test_spcu_any_branch () =
+  (* One empty branch, one live branch: the union is nonempty. *)
+  let dead =
+    view ~selection:[ Spc.Sel_const ("A", str "x"); Spc.Sel_const ("A", str "y") ] ()
+  in
+  let live = view () in
+  let u = Spcu.make_exn ~name:"W" [ dead; live ] in
+  match Emptiness.check u ~sigma:[] with
+  | Emptiness.Nonempty _ -> ()
+  | _ -> Alcotest.fail "live branch wins"
+
+let test_join_conflict () =
+  (* Two copies of S joined on A, with Σ forcing different constants for B
+     on each side via different conditions: σ_{B='u' ∧ B2='w' ∧ A=A2}. *)
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:
+        [ Spc.Sel_eq ("A", "A2"); Spc.Sel_const ("B", str "u"); Spc.Sel_const ("B2", str "w") ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ]; Spc.atom db "S" [ "A2"; "B2"; "C2" ] ]
+      ~projection:[ "A"; "B"; "C2" ] ()
+  in
+  (* Σ: A → B.  Joined tuples share A, so they must share B — but the
+     selection pins B='u' on one copy and B='w' on the other. *)
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  match Emptiness.check_spc v ~sigma with
+  | Emptiness.Empty -> ()
+  | _ -> Alcotest.fail "join conflict must be empty"
+
+(* --- Consistency -------------------------------------------------------- *)
+
+let test_consistency_basic () =
+  check_bool "no CFDs consistent" true (Consistency.satisfiable s_schema []);
+  let conflicting =
+    [
+      C.make "S" [] ("A", const "x");
+      C.make "S" [] ("A", const "y");
+    ]
+  in
+  check_bool "conflicting bindings" false
+    (Consistency.satisfiable s_schema conflicting)
+
+let test_consistency_conditional_ok () =
+  (* Conditions on disjoint constants never clash in the infinite setting. *)
+  let sigma =
+    [
+      C.make "S" [ ("A", const "1") ] ("B", const "x");
+      C.make "S" [ ("A", const "2") ] ("B", const "y");
+    ]
+  in
+  check_bool "consistent" true (Consistency.satisfiable s_schema sigma)
+
+let test_consistency_finite_domain () =
+  (* [8]'s hallmark example: over a Boolean attribute, the conditions cover
+     the whole domain and conflict — only visible by instantiation. *)
+  let schema =
+    Schema.relation "F"
+      [ Attribute.make "P" Domain.boolean; Attribute.make "Q" Domain.string ]
+  in
+  let t = P.Const (Value.bool true) and f = P.Const (Value.bool false) in
+  let sigma =
+    [
+      C.make "F" [ ("P", t) ] ("Q", const "x");
+      C.make "F" [ ("P", t) ] ("Q", const "y");
+      C.make "F" [ ("P", f) ] ("Q", const "x");
+      C.make "F" [ ("P", f) ] ("Q", const "y");
+    ]
+  in
+  (match Consistency.satisfiable_general schema sigma with
+   | Ok b -> check_bool "inconsistent over booleans" false b
+   | Error _ -> Alcotest.fail "budget");
+  (* Dropping one case makes it satisfiable (choose P = false). *)
+  match Consistency.satisfiable_general schema (List.tl sigma) with
+  | Ok b -> check_bool "satisfiable with P=false" true b
+  | Error _ -> Alcotest.fail "budget"
+
+let suite =
+  [
+    ("Example 3.1", `Quick, test_example_3_1);
+    ("plain views nonempty", `Quick, test_plain_view_nonempty);
+    ("static conflicts", `Quick, test_static_conflict_empty);
+    ("SPCU: any live branch", `Quick, test_spcu_any_branch);
+    ("join conflicts", `Quick, test_join_conflict);
+    ("consistency basics", `Quick, test_consistency_basic);
+    ("conditional consistency", `Quick, test_consistency_conditional_ok);
+    ("finite-domain inconsistency", `Quick, test_consistency_finite_domain);
+  ]

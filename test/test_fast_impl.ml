@@ -1,0 +1,135 @@
+(* The specialised implication kernel, exercised directly — including the
+   corner cases the union-find representation is prone to get wrong. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+module F = Propagation.Fast_impl
+
+let schema =
+  Schema.relation "R"
+    (List.init 5 (fun i -> Attribute.make (Printf.sprintf "A%d" (i + 1)) Domain.string))
+
+let implies sigma phi = F.implies (F.compile schema sigma) phi
+
+let test_constant_equality_across_cells () =
+  (* Two cells separately bound to the same constant are equal terms. *)
+  let sigma =
+    [
+      C.make "R" [ ("A1", const "k") ] ("A2", const "c");
+      C.make "R" [ ("A3", const "k") ] ("A4", const "c");
+    ]
+  in
+  let phi =
+    C.make "R" [ ("A1", const "k"); ("A3", const "k") ] ("A2", P.Wild)
+  in
+  check_bool "A2 pinned, pair agrees" true (implies sigma phi);
+  let phi24 =
+    C.make "R" [ ("A1", const "k"); ("A3", const "k") ] ("A4", P.Wild)
+  in
+  check_bool "A4 also pinned" true (implies sigma phi24)
+
+let test_union_keeps_constants () =
+  (* Merging a bound and an unbound class keeps the constant. *)
+  let sigma = [ C.attr_eq "R" "A1" "A2"; C.make "R" [] ("A1", const "v") ] in
+  check_bool "A2 inherits the constant" true
+    (implies sigma (C.make "R" [] ("A2", const "v")));
+  check_bool "not another constant" false
+    (implies sigma (C.make "R" [] ("A2", const "w")))
+
+let test_conflict_means_vacuous () =
+  (* Contradictory constants make the premise unrealisable: everything
+     with that premise is implied. *)
+  let sigma =
+    [
+      C.make "R" [ ("A1", const "k") ] ("A2", const "x");
+      C.make "R" [ ("A1", const "k") ] ("A2", const "y");
+    ]
+  in
+  let phi = C.make "R" [ ("A1", const "k") ] ("A5", const "anything") in
+  check_bool "vacuously implied" true (implies sigma phi);
+  (* But with a different premise it is not. *)
+  let phi2 = C.make "R" [ ("A3", const "z") ] ("A5", const "anything") in
+  check_bool "other premises unaffected" false (implies sigma phi2)
+
+let test_pair_vs_single_distinction () =
+  (* (A1 → A2) implies pairwise agreement but no constant binding. *)
+  let sigma = [ C.fd "R" [ "A1" ] "A2" ] in
+  check_bool "pairwise" true (implies sigma (C.fd "R" [ "A1" ] "A2"));
+  check_bool "no binding" false
+    (implies sigma (C.make "R" [ ("A1", const "k") ] ("A2", const "v")))
+
+let test_attr_eq_chain () =
+  let sigma = [ C.attr_eq "R" "A1" "A2"; C.attr_eq "R" "A2" "A3" ] in
+  check_bool "transitive equality" true (implies sigma (C.attr_eq "R" "A1" "A3"));
+  check_bool "not unrelated" false (implies sigma (C.attr_eq "R" "A1" "A4"))
+
+let test_empty_sigma () =
+  check_bool "nothing implied" false (implies [] (C.fd "R" [ "A1" ] "A2"));
+  check_bool "trivial still implied" true
+    (implies [] (C.make "R" [ ("A1", P.Wild) ] ("A1", P.Wild)))
+
+let test_unknown_attribute_rejected () =
+  try
+    ignore (F.compile schema [ C.fd "R" [ "Z9" ] "A1" ]);
+    Alcotest.fail "unknown attribute accepted"
+  with Invalid_argument _ | Not_found -> ()
+
+(* Exhaustive cross-validation against the generic chase on a small
+   enumerated space: all CFDs over two attributes with patterns drawn from
+   {_, 'a', 'b'}. *)
+let test_exhaustive_two_attribute_agreement () =
+  let r2 =
+    Schema.relation "S"
+      [ Attribute.make "X" Domain.string; Attribute.make "Y" Domain.string ]
+  in
+  let pats = [ P.Wild; const "a"; const "b" ] in
+  let cfds =
+    List.concat_map
+      (fun px ->
+        List.concat_map
+          (fun py ->
+            [
+              C.make "S" [ ("X", px) ] ("Y", py);
+              C.make "S" [ ("Y", px) ] ("X", py);
+              C.make "S" [] ("X", py);
+            ])
+          pats)
+      pats
+    |> List.sort_uniq C.compare
+  in
+  let idview = Implication.identity_view r2 in
+  let count = ref 0 in
+  List.iter
+    (fun psi ->
+      List.iter
+        (fun phi ->
+          let fast = F.implies (F.compile r2 [ psi ]) phi in
+          let generic =
+            match
+              Propagate.decide ~strategy:Propagate.Chase_only idview
+                ~sigma:[ psi ] phi
+            with
+            | Propagate.Propagated -> true
+            | _ -> false
+          in
+          incr count;
+          if fast <> generic then
+            Alcotest.failf "disagreement: {%a} |= %a (fast=%b generic=%b)" C.pp
+              psi C.pp phi fast generic)
+        cfds)
+    cfds;
+  check_bool "exercised many pairs" true (!count > 400)
+
+let suite =
+  [
+    ("constants equal across cells", `Quick, test_constant_equality_across_cells);
+    ("union keeps constants", `Quick, test_union_keeps_constants);
+    ("conflicts mean vacuous truth", `Quick, test_conflict_means_vacuous);
+    ("pair vs single distinction", `Quick, test_pair_vs_single_distinction);
+    ("attr-eq chains", `Quick, test_attr_eq_chain);
+    ("empty sigma", `Quick, test_empty_sigma);
+    ("unknown attributes rejected", `Quick, test_unknown_attribute_rejected);
+    ("exhaustive agreement with the chase", `Slow, test_exhaustive_two_attribute_agreement);
+  ]

@@ -1,0 +1,233 @@
+(* The general setting (finite-domain attributes): Theorems 3.2/3.3 and the
+   strategy machinery — Auto, Chase_only, Enumerate must agree wherever
+   each is complete. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let bt = P.Const (Value.bool true)
+let bf = P.Const (Value.bool false)
+
+let mixed =
+  Schema.relation "R"
+    [
+      Attribute.make "A" Domain.string;
+      Attribute.make "P" Domain.boolean;
+      Attribute.make "B" Domain.string;
+    ]
+
+let db = Schema.db [ mixed ]
+
+let identity_view =
+  Spc.make_exn ~source:db ~name:"V"
+    ~atoms:[ Spc.atom db "R" [ "A"; "P"; "B" ] ]
+    ~projection:[ "A"; "P"; "B" ] ()
+
+let test_case_analysis_needed () =
+  (* [P=true] → B='x' and [P=false] → B='x' jointly pin column B, but the
+     chase alone cannot see it: the general setting differs from the
+     infinite-domain one. *)
+  let sigma =
+    [
+      C.make "R" [ ("P", bt) ] ("B", const "x");
+      C.make "R" [ ("P", bf) ] ("B", const "x");
+    ]
+  in
+  let phi = C.make "V" [] ("B", const "x") in
+  (match Propagate.decide ~strategy:Propagate.Chase_only identity_view ~sigma phi with
+   | Propagate.Not_propagated _ -> ()
+   | _ -> Alcotest.fail "chase alone must miss the case analysis");
+  match Propagate.decide ~strategy:(Propagate.Enumerate { budget = 10_000 }) identity_view ~sigma phi with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "enumeration must find it"
+
+let test_auto_uses_enumeration () =
+  let sigma =
+    [
+      C.make "R" [ ("P", bt) ] ("B", const "x");
+      C.make "R" [ ("P", bf) ] ("B", const "x");
+    ]
+  in
+  let phi = C.make "V" [] ("B", const "x") in
+  match Propagate.decide identity_view ~sigma phi with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "Auto must be complete here"
+
+let test_partial_case_analysis () =
+  (* Only one truth value pins B: not propagated, and the witness must use
+     the other value. *)
+  let sigma = [ C.make "R" [ ("P", bt) ] ("B", const "x") ] in
+  let phi = C.make "V" [] ("B", const "x") in
+  match Propagate.decide identity_view ~sigma phi with
+  | Propagate.Not_propagated w ->
+    let inst = Database.instance w "R" in
+    check_bool "witness satisfies sigma" true (C.satisfies inst (List.hd sigma));
+    check_bool "witness violates phi" false
+      (C.satisfies (Spc.eval identity_view w) phi)
+  | _ -> Alcotest.fail "not propagated"
+
+let test_ptime_shortcut_agrees () =
+  (* On SP/PC-style instances with plain-FD sources and wildcard-RHS view
+     CFDs, Auto takes the PTIME path (Theorem 3.3a,b).  It must agree with
+     exhaustive enumeration.  Three-valued domains qualify for the
+     shortcut; the test compares both strategies. *)
+  let enum3 = Domain.finite [ Value.int 0; Value.int 1; Value.int 2 ] in
+  let r =
+    Schema.relation "S"
+      [
+        Attribute.make "X" enum3;
+        Attribute.make "Y" enum3;
+        Attribute.make "Z" Domain.string;
+      ]
+  in
+  let sdb = Schema.db [ r ] in
+  let view =
+    Spc.make_exn ~source:sdb ~name:"W"
+      ~atoms:[ Spc.atom sdb "S" [ "X"; "Y"; "Z" ] ]
+      ~projection:[ "X"; "Z" ] ()
+  in
+  let cases =
+    [
+      ([ C.fd "S" [ "X" ] "Y"; C.fd "S" [ "Y" ] "Z" ], C.fd "W" [ "X" ] "Z", true);
+      ([ C.fd "S" [ "Y" ] "Z" ], C.fd "W" [ "X" ] "Z", false);
+      ([ C.fd "S" [ "X" ] "Z" ], C.fd "W" [ "Z" ] "X", false);
+    ]
+  in
+  List.iter
+    (fun (sigma, phi, expected) ->
+      let auto =
+        match Propagate.decide view ~sigma phi with
+        | Propagate.Propagated -> true
+        | Propagate.Not_propagated _ -> false
+        | Propagate.Budget_exceeded -> Alcotest.fail "budget"
+      in
+      let enum =
+        match
+          Propagate.decide ~strategy:(Propagate.Enumerate { budget = 100_000 })
+            view ~sigma phi
+        with
+        | Propagate.Propagated -> true
+        | Propagate.Not_propagated _ -> false
+        | Propagate.Budget_exceeded -> Alcotest.fail "budget"
+      in
+      check_bool "auto = enumerate" enum auto;
+      check_bool "expected" expected auto)
+    cases
+
+let test_budget_exceeded_reported () =
+  (* 12 boolean columns in a pair instance exceed a budget of 2. *)
+  let attrs =
+    List.init 12 (fun i -> Attribute.make (Printf.sprintf "P%d" i) Domain.boolean)
+  in
+  let r = Schema.relation "T" (Attribute.make "A" Domain.string :: attrs) in
+  let tdb = Schema.db [ r ] in
+  let names = Schema.attribute_names r in
+  let view =
+    Spc.make_exn ~source:tdb ~name:"W"
+      ~atoms:[ Spc.atom tdb "T" names ]
+      ~projection:names ()
+  in
+  (* Σ pins A under every truth value of every P column, so φ is
+     propagated — deciding it requires exhausting the instantiations. *)
+  let sigma =
+    List.concat
+      (List.init 12 (fun i ->
+           [
+             C.make "T" [ (Printf.sprintf "P%d" i, bt) ] ("A", const "x");
+             C.make "T" [ (Printf.sprintf "P%d" i, bf) ] ("A", const "x");
+           ]))
+  in
+  let phi = C.make "W" [] ("A", const "x") in
+  match
+    Propagate.decide ~strategy:(Propagate.Enumerate { budget = 2 }) view ~sigma phi
+  with
+  | Propagate.Budget_exceeded -> ()
+  | _ -> Alcotest.fail "budget must be reported"
+
+let test_inert_columns_skipped () =
+  (* Finite columns no CFD mentions do not get enumerated: with 12 inert
+     boolean columns a budget of 2 still suffices (pre-chase + skipping). *)
+  let attrs =
+    List.init 12 (fun i -> Attribute.make (Printf.sprintf "P%d" i) Domain.boolean)
+  in
+  let r =
+    Schema.relation "T"
+      (Attribute.make "A" Domain.string :: Attribute.make "B" Domain.string :: attrs)
+  in
+  let tdb = Schema.db [ r ] in
+  let names = Schema.attribute_names r in
+  let view =
+    Spc.make_exn ~source:tdb ~name:"W"
+      ~atoms:[ Spc.atom tdb "T" names ]
+      ~projection:names ()
+  in
+  let sigma = [ C.make "T" [ ("A", const "k") ] ("B", const "v") ] in
+  let phi = C.make "W" [ ("A", const "k") ] ("B", const "v") in
+  match
+    Propagate.decide ~strategy:(Propagate.Enumerate { budget = 2 }) view ~sigma phi
+  with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "inert columns must be skipped"
+
+let test_sc_view_conp_instance () =
+  (* An SC-flavoured instance in the general setting: selection pins a
+     string column, booleans drive the case analysis. *)
+  let sigma =
+    [
+      C.make "R" [ ("A", const "on"); ("P", bt) ] ("B", const "1");
+      C.make "R" [ ("A", const "on"); ("P", bf) ] ("B", const "1");
+    ]
+  in
+  let view =
+    Spc.make_exn ~source:db ~name:"V"
+      ~selection:[ Spc.Sel_const ("A", str "on") ]
+      ~atoms:[ Spc.atom db "R" [ "A"; "P"; "B" ] ]
+      ~projection:[ "A"; "P"; "B" ] ()
+  in
+  let phi = C.make "V" [] ("B", const "1") in
+  match Propagate.decide view ~sigma phi with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "selection + case analysis"
+
+let test_general_emptiness () =
+  (* B (boolean) must be both true and false: inconsistent → empty view. *)
+  let r =
+    Schema.relation "F"
+      [ Attribute.make "P" Domain.boolean; Attribute.make "Q" Domain.boolean ]
+  in
+  let fdb = Schema.db [ r ] in
+  let view =
+    Spc.make_exn ~source:fdb ~name:"W"
+      ~atoms:[ Spc.atom fdb "F" [ "P"; "Q" ] ]
+      ~projection:[ "P"; "Q" ] ()
+  in
+  let sigma =
+    [
+      C.make "F" [ ("P", bt) ] ("Q", bt);
+      C.make "F" [ ("P", bt) ] ("Q", bf);
+      C.make "F" [ ("P", bf) ] ("Q", bt);
+      C.make "F" [ ("P", bf) ] ("Q", bf);
+    ]
+  in
+  (match Emptiness.check_spc view ~sigma with
+   | Emptiness.Empty -> ()
+   | _ -> Alcotest.fail "inconsistent booleans empty the view");
+  (* Dropping the P=false rules leaves P=false tuples possible. *)
+  match Emptiness.check_spc view ~sigma:(List.filteri (fun i _ -> i < 2) sigma) with
+  | Emptiness.Nonempty w ->
+    check_bool "witness view nonempty" false (Relation.is_empty (Spc.eval view w))
+  | _ -> Alcotest.fail "satisfiable with P=false"
+
+let suite =
+  [
+    ("case analysis beats the chase", `Quick, test_case_analysis_needed);
+    ("Auto is complete in the general setting", `Quick, test_auto_uses_enumeration);
+    ("partial case analysis with witness", `Quick, test_partial_case_analysis);
+    ("PTIME shortcut agrees with enumeration", `Quick, test_ptime_shortcut_agrees);
+    ("budget exhaustion is reported", `Quick, test_budget_exceeded_reported);
+    ("inert columns are skipped", `Quick, test_inert_columns_skipped);
+    ("SC-style coNP instance", `Quick, test_sc_view_conp_instance);
+    ("general-setting emptiness", `Quick, test_general_emptiness);
+  ]

@@ -1,0 +1,148 @@
+(* Tableau queries: evaluation by embedding, homomorphisms, containment,
+   minimisation (appendix, Theorem 1 / Corollary 2). *)
+
+open Relational
+open Fixtures
+module Tableau = Chase.Tableau
+module Term = Chase.Term
+module Hom = Chase.Homomorphism
+
+let r_schema = abc_schema ()
+let db_schema = Schema.db [ r_schema ]
+
+let make_view ?selection ?(projection = [ "A"; "B"; "C" ]) atoms =
+  Spc.make_exn ~source:db_schema ~name:"V" ?selection ~atoms ~projection ()
+
+let tableau v =
+  let gen = Term.make_gen () in
+  match Tableau.of_spc ~gen v with
+  | Ok t -> t
+  | Error `Statically_empty -> Alcotest.fail "unexpectedly empty"
+
+let sample_db =
+  Database.make db_schema
+    [
+      Relation.make r_schema
+        [
+          Tuple.make [ str "a1"; str "b1"; str "c1" ];
+          Tuple.make [ str "a2"; str "b1"; str "c2" ];
+          Tuple.make [ str "a3"; str "b3"; str "c3" ];
+        ];
+    ]
+
+let test_eval_matches_spc_eval () =
+  let views =
+    [
+      make_view [ Spc.atom db_schema "R" [ "A"; "B"; "C" ] ];
+      make_view
+        ~selection:[ Spc.Sel_const ("B", str "b1") ]
+        [ Spc.atom db_schema "R" [ "A"; "B"; "C" ] ];
+      make_view
+        ~selection:[ Spc.Sel_eq ("B", "B2") ]
+        ~projection:[ "A"; "A2" ]
+        [
+          Spc.atom db_schema "R" [ "A"; "B"; "C" ];
+          Spc.atom db_schema "R" [ "A2"; "B2"; "C2" ];
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let direct = Spc.eval v sample_db in
+      let via_tableau =
+        Hom.eval (tableau v) ~view_schema:(Spc.view_schema v) sample_db
+      in
+      check_bool "tableau eval = SPC eval" true (Relation.equal direct via_tableau))
+    views
+
+let test_eval_random () =
+  let rng = Workload.Rng.make 31 in
+  let schema = Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:4 in
+  for _ = 1 to 10 do
+    let v = Workload.View_gen.generate rng ~schema ~y:3 ~f:2 ~ec:2 in
+    let db = Workload.Data_gen.database rng schema ~rows:5 ~value_range:3 in
+    let direct = Spc.eval v db in
+    match Tableau.of_spc ~gen:(Term.make_gen ()) v with
+    | Error `Statically_empty ->
+      check_bool "statically empty evaluates empty" true (Relation.is_empty direct)
+    | Ok t ->
+      let via = Hom.eval t ~view_schema:(Spc.view_schema v) db in
+      check_bool "random view agrees" true (Relation.equal direct via)
+  done
+
+let test_hom_identity () =
+  let t = tableau (make_view [ Spc.atom db_schema "R" [ "A"; "B"; "C" ] ]) in
+  check_bool "identity hom" true (Hom.exists ~from:t ~into:t);
+  check_bool "self equivalent" true (Hom.equivalent t t)
+
+let test_containment_selection () =
+  (* σ_{B='b1'}(R) ⊆ R but not conversely. *)
+  let full = tableau (make_view [ Spc.atom db_schema "R" [ "A"; "B"; "C" ] ]) in
+  let selected =
+    tableau
+      (make_view
+         ~selection:[ Spc.Sel_const ("B", str "b1") ]
+         [ Spc.atom db_schema "R" [ "A"; "B"; "C" ] ])
+  in
+  check_bool "selected contained in full" true (Hom.contained selected full);
+  check_bool "full not contained in selected" false (Hom.contained full selected)
+
+let test_redundant_atom_detection () =
+  (* π_{A,B,C}(R ⋈ renamed R on equal A) — the second atom is redundant. *)
+  let v =
+    make_view
+      ~selection:[ Spc.Sel_eq ("A", "A2") ]
+      ~projection:[ "A"; "B"; "C" ]
+      [
+        Spc.atom db_schema "R" [ "A"; "B"; "C" ];
+        Spc.atom db_schema "R" [ "A2"; "B2"; "C2" ];
+      ]
+  in
+  let redundant = Hom.redundant_atoms v in
+  check_bool "second atom redundant" true (List.mem 1 redundant);
+  check_bool "first atom needed" false (List.mem 0 redundant);
+  (* And minimisation actually shrinks the tableau. *)
+  let t = tableau v in
+  let m = Hom.minimize t in
+  check_int "one row left" 1 (List.length m.Tableau.rows);
+  check_bool "still equivalent" true (Hom.equivalent t m)
+
+let test_no_spurious_redundancy () =
+  (* A genuine join: neither atom is redundant. *)
+  let v =
+    make_view
+      ~selection:[ Spc.Sel_eq ("B", "A2") ]
+      ~projection:[ "A"; "C2" ]
+      [
+        Spc.atom db_schema "R" [ "A"; "B"; "C" ];
+        Spc.atom db_schema "R" [ "A2"; "B2"; "C2" ];
+      ]
+  in
+  Fixtures.check_int "no redundancy" 0 (List.length (Hom.redundant_atoms v))
+
+let test_minimize_preserves_semantics () =
+  let rng = Workload.Rng.make 77 in
+  let schema = Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:3 in
+  for _ = 1 to 10 do
+    let v = Workload.View_gen.generate rng ~schema ~y:3 ~f:2 ~ec:3 in
+    match Tableau.of_spc ~gen:(Term.make_gen ()) v with
+    | Error `Statically_empty -> ()
+    | Ok t ->
+      let m = Hom.minimize t in
+      check_bool "minimised tableau equivalent" true (Hom.equivalent t m);
+      let db = Workload.Data_gen.database rng schema ~rows:4 ~value_range:2 in
+      let vs = Spc.view_schema v in
+      check_bool "same answers on data" true
+        (Relation.equal (Hom.eval t ~view_schema:vs db) (Hom.eval m ~view_schema:vs db))
+  done
+
+let suite =
+  [
+    ("tableau eval = SPC eval", `Quick, test_eval_matches_spc_eval);
+    ("tableau eval on random views", `Quick, test_eval_random);
+    ("identity homomorphism", `Quick, test_hom_identity);
+    ("containment under selection", `Quick, test_containment_selection);
+    ("redundant atom detection", `Quick, test_redundant_atom_detection);
+    ("no spurious redundancy", `Quick, test_no_spurious_redundancy);
+    ("minimisation preserves semantics", `Quick, test_minimize_preserves_semantics);
+  ]

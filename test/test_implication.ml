@@ -1,0 +1,136 @@
+(* CFD implication (the identity-view special case of propagation). *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let schema = abc_schema ()
+let implies = Implication.implies schema
+
+let test_reflexive () =
+  let c = C.fd "R" [ "A" ] "B" in
+  check_bool "self" true (implies [ c ] c)
+
+let test_transitivity () =
+  let sigma = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C" ] in
+  check_bool "A->C" true (implies sigma (C.fd "R" [ "A" ] "C"));
+  check_bool "C->A not implied" false (implies sigma (C.fd "R" [ "C" ] "A"))
+
+let test_augmentation () =
+  let sigma = [ C.fd "R" [ "A" ] "C" ] in
+  check_bool "AB->C" true (implies sigma (C.fd "R" [ "A"; "B" ] "C"))
+
+let test_trivial () =
+  check_bool "A->A trivial" true
+    (implies [] (C.make "R" [ ("A", P.Wild) ] ("A", P.Wild)));
+  check_bool "A=A trivial" true (implies [] (C.attr_eq "R" "A" "A"))
+
+let test_pattern_weakening () =
+  (* (A → B, (_ ‖ _)) implies (A='a' → B, (a ‖ _)). *)
+  let sigma = [ C.fd "R" [ "A" ] "B" ] in
+  let phi = C.make "R" [ ("A", const "a") ] ("B", P.Wild) in
+  check_bool "conditional weaker" true (implies sigma phi);
+  (* The converse fails. *)
+  check_bool "conditional does not give FD" false
+    (implies [ phi ] (C.fd "R" [ "A" ] "B"))
+
+let test_constant_transitivity () =
+  (* ([A='a'] → B='b') and ([B='b'] → C='c') give ([A='a'] → C='c'). *)
+  let sigma =
+    [
+      C.make "R" [ ("A", const "a") ] ("B", const "b");
+      C.make "R" [ ("B", const "b") ] ("C", const "c");
+    ]
+  in
+  check_bool "constant chaining" true
+    (implies sigma (C.make "R" [ ("A", const "a") ] ("C", const "c")));
+  check_bool "wrong constant" false
+    (implies sigma (C.make "R" [ ("A", const "a") ] ("C", const "d")))
+
+let test_constant_blocks_chain () =
+  (* ([A='a'] → B='b') and ([B='e'] → C='c') do not chain. *)
+  let sigma =
+    [
+      C.make "R" [ ("A", const "a") ] ("B", const "b");
+      C.make "R" [ ("B", const "e") ] ("C", const "c");
+    ]
+  in
+  check_bool "blocked chain" false
+    (implies sigma (C.make "R" [ ("A", const "a") ] ("C", const "c")))
+
+let test_attr_eq_symmetry () =
+  let ab = C.attr_eq "R" "A" "B" in
+  let ba = C.attr_eq "R" "B" "A" in
+  check_bool "A=B implies B=A" true (implies [ ab ] ba);
+  check_bool "A=B implies nothing about C" false
+    (implies [ ab ] (C.attr_eq "R" "A" "C"))
+
+let test_attr_eq_substitution () =
+  (* Lemma 4.3 at the implication level: A=B plus (B → C) give (A → C). *)
+  let sigma = [ C.attr_eq "R" "A" "B"; C.fd "R" [ "B" ] "C" ] in
+  check_bool "substitute A for B" true (implies sigma (C.fd "R" [ "A" ] "C"))
+
+let test_constant_binding_vs_fd () =
+  (* (A → A, (_ ‖ a)) implies (B → A): the column is constant. *)
+  let sigma = [ C.const_binding "R" "A" (str "a") ] in
+  check_bool "constant column is determined" true
+    (implies sigma (C.fd "R" [ "B" ] "A"));
+  check_bool "not the other direction" false
+    (implies sigma (C.fd "R" [ "A" ] "B"))
+
+let test_empty_lhs_form () =
+  (* (∅ → A, (‖ a)) and (A → A, (_ ‖ a)) are equivalent. *)
+  let empty_lhs = C.make "R" [] ("A", const "a") in
+  let binding = C.const_binding "R" "A" (str "a") in
+  check_bool "empty-lhs implies binding" true (implies [ empty_lhs ] binding);
+  check_bool "binding implies empty-lhs" true (implies [ binding ] empty_lhs)
+
+let test_general_setting_implication () =
+  (* Boolean column B: ([B='true'] → C='c') and ([B='false'] → C='c')
+     together imply (A → C, (_ ‖ c)) — only visible by instantiation. *)
+  let schema =
+    Schema.relation "R"
+      [
+        Attribute.make "A" Domain.string;
+        Attribute.make "B" Domain.boolean;
+        Attribute.make "C" Domain.string;
+      ]
+  in
+  let t = P.Const (Value.bool true) and f = P.Const (Value.bool false) in
+  let sigma =
+    [
+      C.make "R" [ ("B", t) ] ("C", const "c");
+      C.make "R" [ ("B", f) ] ("C", const "c");
+    ]
+  in
+  let phi = C.make "R" [ ("A", P.Wild) ] ("C", const "c") in
+  (match Implication.implies_general schema sigma phi with
+   | Ok b -> check_bool "finite-domain case analysis" true b
+   | Error `Budget_exceeded -> Alcotest.fail "budget");
+  (* The infinite-domain procedure must not find it. *)
+  check_bool "chase alone misses it" false (Implication.implies schema sigma phi)
+
+let test_equivalent () =
+  let s1 = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C" ] in
+  let s2 = [ C.fd "R" [ "B" ] "C"; C.fd "R" [ "A" ] "B"; C.fd "R" [ "A" ] "C" ] in
+  check_bool "equivalent sets" true (Implication.equivalent schema s1 s2);
+  check_bool "not equivalent" false
+    (Implication.equivalent schema s1 [ C.fd "R" [ "A" ] "B" ])
+
+let suite =
+  [
+    ("reflexivity", `Quick, test_reflexive);
+    ("transitivity", `Quick, test_transitivity);
+    ("augmentation", `Quick, test_augmentation);
+    ("trivial CFDs", `Quick, test_trivial);
+    ("pattern weakening", `Quick, test_pattern_weakening);
+    ("constant transitivity", `Quick, test_constant_transitivity);
+    ("constants block chaining", `Quick, test_constant_blocks_chain);
+    ("attr-eq symmetry", `Quick, test_attr_eq_symmetry);
+    ("attr-eq substitution", `Quick, test_attr_eq_substitution);
+    ("constant binding determines column", `Quick, test_constant_binding_vs_fd);
+    ("empty-LHS and binding forms agree", `Quick, test_empty_lhs_form);
+    ("general-setting implication", `Quick, test_general_setting_implication);
+    ("set equivalence", `Quick, test_equivalent);
+  ]

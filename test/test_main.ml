@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "cfd-prop"
+    [
+      ("relational", Test_relational.suite);
+      ("algebra", Test_algebra.suite);
+      ("cfd", Test_cfd.suite);
+      ("cind", Test_cind.suite);
+      ("repair", Test_repair.suite);
+      ("subst", Test_subst.suite);
+      ("chase", Test_chase.suite);
+      ("homomorphism", Test_homomorphism.suite);
+      ("propagate", Test_propagate.suite);
+      ("emptiness", Test_emptiness.suite);
+      ("general-setting", Test_general_setting.suite);
+      ("paper-theorems", Test_paper_theorems.suite);
+      ("implication", Test_implication.suite);
+      ("fast-impl", Test_fast_impl.suite);
+      ("mincover", Test_mincover.suite);
+      ("compute-eq", Test_computeeq.suite);
+      ("rbr", Test_rbr.suite);
+      ("propcover", Test_propcover.suite);
+      ("spcu-cover", Test_spcu_cover.suite);
+      ("sat-reduction", Test_sat.suite);
+      ("workload", Test_workload.suite);
+      ("syntax", Test_syntax.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,200 @@
+(* Representative instances for the remaining theorem statements of
+   Section 3 — one scenario per claim that is not already covered by the
+   other suites. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let s3 = abc_schema ~name:"S" ()
+let db = Schema.db [ s3 ]
+
+(* --- Theorem 3.1 / 3.5: SPCU in the infinite-domain setting ------------ *)
+
+let test_spcu_cross_branch_pairs () =
+  (* Violations can need one tuple from each branch: V = σ_{C='u'}(S) ∪
+     σ_{C='w'}(S) with Σ = {A→B}.  A→B on the view still holds (both
+     branches read the same relation)… *)
+  let branch c =
+    Spc.make_exn ~source:db ~name:"U"
+      ~selection:[ Spc.Sel_const ("C", str c) ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B" ] ()
+  in
+  let u = Spcu.make_exn ~name:"U" [ branch "u"; branch "w" ] in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  (match Propagate.decide_spcu u ~sigma (C.fd "U" [ "A" ] "B") with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "same source relation: FD survives the union");
+  (* … but with two different source relations it fails across branches. *)
+  let t3 = abc_schema ~name:"T" () in
+  let db2 = Schema.db [ s3; t3 ] in
+  let b1 =
+    Spc.make_exn ~source:db2 ~name:"U"
+      ~atoms:[ Spc.atom db2 "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B" ] ()
+  in
+  let b2 =
+    Spc.make_exn ~source:db2 ~name:"U"
+      ~atoms:[ Spc.atom db2 "T" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B" ] ()
+  in
+  let u2 = Spcu.make_exn ~name:"U" [ b1; b2 ] in
+  let sigma2 = [ C.fd "S" [ "A" ] "B"; C.fd "T" [ "A" ] "B" ] in
+  match Propagate.decide_spcu u2 ~sigma:sigma2 (C.fd "U" [ "A" ] "B") with
+  | Propagate.Not_propagated w ->
+    (* The witness needs tuples in both sources sharing an A value. *)
+    check_bool "cross-branch witness" false
+      (C.satisfies (Spcu.eval u2 w) (C.fd "U" [ "A" ] "B"))
+  | _ -> Alcotest.fail "cross-branch pairs must be found"
+
+let test_cfd_sources_spcu_ptime_cell () =
+  (* Theorem 3.5: CFD sources, SPCU view, infinite domains — Chase_only is
+     complete; spot-check against Auto. *)
+  let branch c =
+    Spc.make_exn ~source:db ~name:"U"
+      ~selection:[ Spc.Sel_const ("C", str c) ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let u = Spcu.make_exn ~name:"U" [ branch "u"; branch "w" ] in
+  let sigma =
+    [
+      C.make "S" [ ("C", const "u") ] ("B", const "1");
+      C.make "S" [ ("C", const "w") ] ("B", const "2");
+    ]
+  in
+  (* On branch 'u' the B column is 1; conditionally on the union: *)
+  let phi_u = C.make "U" [ ("C", const "u") ] ("B", const "1") in
+  (match Propagate.decide_spcu ~strategy:Propagate.Chase_only u ~sigma phi_u with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "conditional binding propagates");
+  (* Unconditionally it cannot hold (two branch constants disagree). *)
+  let phi = C.make "U" [] ("B", const "1") in
+  match Propagate.decide_spcu ~strategy:Propagate.Chase_only u ~sigma phi with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "unconditional binding fails"
+
+(* --- Corollary 3.4: FDs → FDs in the general setting ------------------- *)
+
+let test_fd_to_fd_sp_ptime () =
+  (* SP views with FD sources stay decidable by the direct chase even with
+     Boolean attributes present (the PTIME cell of Corollary 3.4);
+     cross-check the shortcut against enumeration. *)
+  let r =
+    Schema.relation "F"
+      [
+        Attribute.make "A" Domain.string;
+        Attribute.make "P" (Domain.finite [ int 0; int 1; int 2 ]);
+        Attribute.make "B" Domain.string;
+      ]
+  in
+  let fdb = Schema.db [ r ] in
+  let view =
+    Spc.make_exn ~source:fdb ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "k") ]
+      ~atoms:[ Spc.atom fdb "F" [ "A"; "P"; "B" ] ]
+      ~projection:[ "P"; "B" ] ()
+  in
+  let sigma = [ C.fd "F" [ "P" ] "B" ] in
+  List.iter
+    (fun (phi, expected) ->
+      let auto =
+        match Propagate.decide view ~sigma phi with
+        | Propagate.Propagated -> true
+        | Propagate.Not_propagated _ -> false
+        | Propagate.Budget_exceeded -> Alcotest.fail "budget"
+      in
+      let enum =
+        match
+          Propagate.decide ~strategy:(Propagate.Enumerate { budget = 100_000 })
+            view ~sigma phi
+        with
+        | Propagate.Propagated -> true
+        | Propagate.Not_propagated _ -> false
+        | Propagate.Budget_exceeded -> Alcotest.fail "budget"
+      in
+      check_bool "strategies agree" enum auto;
+      check_bool "expected answer" expected auto)
+    [
+      (C.fd "W" [ "P" ] "B", true);
+      (C.fd "W" [ "B" ] "P", false);
+    ]
+
+(* --- repeated base relations (self-products) --------------------------- *)
+
+let test_self_product_view () =
+  (* V = σ_{B = A2}(S × S): a self-join.  With A→B, transitivity holds
+     through the join; with more than two rows per base relation the PTIME
+     shortcut must not fire incorrectly (it requires ≤ 2 rows). *)
+  let view =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("B", "A2") ]
+      ~atoms:
+        [ Spc.atom db "S" [ "A"; "B"; "C" ]; Spc.atom db "S" [ "A2"; "B2"; "C2" ] ]
+      ~projection:[ "A"; "B2" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  (match Propagate.decide view ~sigma (C.fd "W" [ "A" ] "B2") with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "transitive through self-join");
+  match Propagate.decide view ~sigma (C.fd "W" [ "B2" ] "A") with
+  | Propagate.Not_propagated w ->
+    check_bool "violating view" false
+      (C.satisfies (Spc.eval view w) (C.fd "W" [ "B2" ] "A"))
+  | _ -> Alcotest.fail "inverse must fail"
+
+(* --- Constant-pattern interaction through joins ------------------------ *)
+
+let test_conditional_join_transfer () =
+  (* [A='k'] → B='v' on the left, join on B = A2, [A2='v'] → B2='w' on the
+     right: the composed conditional CFD holds on the view. *)
+  let view =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("B", "A2") ]
+      ~atoms:
+        [ Spc.atom db "S" [ "A"; "B"; "C" ]; Spc.atom db "S" [ "A2"; "B2"; "C2" ] ]
+      ~projection:[ "A"; "B2" ] ()
+  in
+  let sigma =
+    [
+      C.make "S" [ ("A", const "k") ] ("B", const "v");
+      C.make "S" [ ("A", const "v") ] ("B", const "w");
+    ]
+  in
+  let phi = C.make "W" [ ("A", const "k") ] ("B2", const "w") in
+  (match Propagate.decide view ~sigma phi with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "conditional chain through the join");
+  (* The chain breaks without the matching constant. *)
+  let phi2 = C.make "W" [ ("A", const "z") ] ("B2", const "w") in
+  match Propagate.decide view ~sigma phi2 with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "no chain for A='z'"
+
+(* --- The cover-based decision procedure on the same scenarios ---------- *)
+
+let test_cover_decides_join_scenarios () =
+  let view =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("B", "A2") ]
+      ~atoms:
+        [ Spc.atom db "S" [ "A"; "B"; "C" ]; Spc.atom db "S" [ "A2"; "B2"; "C2" ] ]
+      ~projection:[ "A"; "B2" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  check_bool "cover agrees: propagated" true
+    (Propcover.is_propagated_via_cover view sigma (C.fd "W" [ "A" ] "B2"));
+  check_bool "cover agrees: not propagated" false
+    (Propcover.is_propagated_via_cover view sigma (C.fd "W" [ "B2" ] "A"))
+
+let suite =
+  [
+    ("SPCU cross-branch pairs", `Quick, test_spcu_cross_branch_pairs);
+    ("Theorem 3.5 CFD sources on SPCU", `Quick, test_cfd_sources_spcu_ptime_cell);
+    ("Corollary 3.4 SP cell", `Quick, test_fd_to_fd_sp_ptime);
+    ("self-product views", `Quick, test_self_product_view);
+    ("conditional join transfer", `Quick, test_conditional_join_transfer);
+    ("cover-based decision on joins", `Quick, test_cover_decides_join_scenarios);
+  ]

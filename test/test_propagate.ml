@@ -1,0 +1,301 @@
+(* Tests for the propagation decision procedure, centred on the paper's
+   running example (Examples 1.1, 2.1, 2.2) and the fragments of Section 3. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let sigma_fds = [ f1; f2; f3 ]
+let sigma_all = [ f1; f2; f3; cfd1; cfd2 ]
+
+let decide ?strategy sigma phi = Propagate.decide_spcu ?strategy view ~sigma phi
+
+let propagated sigma phi =
+  match decide sigma phi with
+  | Propagate.Propagated -> true
+  | Propagate.Not_propagated _ -> false
+  | Propagate.Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+(* When the decision is negative, the witness must actually be a
+   counterexample: it satisfies Σ and its view violates φ. *)
+let check_witness sigma phi db =
+  List.iter
+    (fun rel ->
+      let inst = Database.instance db (Schema.relation_name rel) in
+      List.iter
+        (fun c ->
+          if String.equal c.C.rel (Schema.relation_name rel) then
+            check_bool "witness satisfies sigma" true (C.satisfies inst c))
+        sigma)
+    (Schema.relations (Database.schema db));
+  let out = Spcu.eval view db in
+  check_bool "witness view violates phi" false (C.satisfies out phi)
+
+let not_propagated sigma phi =
+  match decide sigma phi with
+  | Propagate.Propagated -> false
+  | Propagate.Not_propagated db ->
+    check_witness sigma phi db;
+    true
+  | Propagate.Budget_exceeded -> Alcotest.fail "budget exceeded"
+
+let test_f1_not_fd () =
+  (* f1 does not propagate as a plain FD: zip → street fails on the view. *)
+  let fd_version = C.fd "V" [ "zip" ] "street" in
+  check_bool "zip->street not propagated" true (not_propagated sigma_fds fd_version)
+
+let test_phi1 () = check_bool "phi1 propagated" true (propagated sigma_fds phi1)
+let test_phi2 () = check_bool "phi2 propagated" true (propagated sigma_fds phi2)
+let test_phi3 () = check_bool "phi3 propagated" true (propagated sigma_fds phi3)
+
+let test_phi2_wrong_cc () =
+  (* AC → city under CC='01' is not guaranteed: no FD on R2. *)
+  let phi = C.make "V" [ ("CC", const "01"); ("AC", wild) ] ("city", wild) in
+  check_bool "us branch has no FD" true (not_propagated sigma_fds phi)
+
+let test_ac_city_unconditional () =
+  (* Without the CC condition, AC → city fails across branches (t1 vs t5). *)
+  let phi = C.make "V" [ ("AC", wild) ] ("city", wild) in
+  check_bool "AC->city not propagated" true (not_propagated sigma_fds phi)
+
+let test_phi4 () = check_bool "phi4 propagated" true (propagated sigma_all phi4)
+let test_phi5 () = check_bool "phi5 propagated" true (propagated sigma_all phi5)
+
+let test_phi4_needs_cfd1 () =
+  check_bool "phi4 needs cfd1" true (not_propagated sigma_fds phi4)
+
+let test_phi4_without_cc () =
+  (* Example 2.2: dropping CC from phi4 breaks it (t1/t5 interaction). *)
+  let phi = C.make "V" [ ("AC", const "20") ] ("city", const "LDN") in
+  check_bool "phi4 without CC fails" true (not_propagated sigma_all phi)
+
+let test_phi6 () =
+  check_bool "phi6 not propagated" true (not_propagated sigma_all phi6)
+
+let test_cc_constant_per_branch () =
+  (* Each branch pins CC, so [CC='44', AC='20'] → CC='44' trivially holds,
+     and the Rc constant propagates as a constant CFD on single branches. *)
+  let phi = C.make "V" [ ("CC", wild) ] ("CC", wild) in
+  check_bool "trivial CFD propagated" true (propagated [] phi);
+  let phi44 =
+    C.make "V" [ ("CC", P.Wild) ] ("CC", const "44")
+  in
+  (* On the SPCU view CC also takes values 01 and 31. *)
+  check_bool "CC not constant on union" true (not_propagated [] phi44);
+  match Propagate.decide q1 ~sigma:[] phi44 with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "CC='44' on branch Q1"
+
+let test_fig1_view_satisfies () =
+  (* Example 2.2: V(D1,D2,D3) satisfies phi1, phi2, phi4. *)
+  let out = Spcu.eval view fig1_db in
+  check_bool "phi1 on fig1" true (C.satisfies out phi1);
+  check_bool "phi2 on fig1" true (C.satisfies out phi2);
+  check_bool "phi4 on fig1" true (C.satisfies out phi4);
+  let phi4_no_cc = C.make "V" [ ("AC", const "20") ] ("city", const "LDN") in
+  check_bool "phi4 without CC violated on fig1" false (C.satisfies out phi4_no_cc)
+
+(* --- Selection interaction (S / SC flavours) ------------------------- *)
+
+let sel_schema =
+  Schema.relation "S"
+    [
+      Attribute.make "A" Domain.string;
+      Attribute.make "B" Domain.string;
+      Attribute.make "C" Domain.string;
+    ]
+
+let sel_db = Schema.db [ sel_schema ]
+
+let test_selection_introduces_constant () =
+  (* σ_{A='a'}(S): the view satisfies (A → A, (_ ‖ a)). *)
+  let v =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "a") ]
+      ~atoms:[ Spc.atom sel_db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let phi = C.const_binding "W" "A" (str "a") in
+  (match Propagate.decide v ~sigma:[] phi with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "selection constant propagates");
+  let phi_b = C.const_binding "W" "B" (str "a") in
+  match Propagate.decide v ~sigma:[] phi_b with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "B is unconstrained"
+
+let test_selection_attr_eq () =
+  (* σ_{A=B}(S): the view satisfies (A → B, (x ‖ x)). *)
+  let v =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("A", "B") ]
+      ~atoms:[ Spc.atom sel_db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let phi = C.attr_eq "W" "A" "B" in
+  (match Propagate.decide v ~sigma:[] phi with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "A=B propagates");
+  let phi_ac = C.attr_eq "W" "A" "C" in
+  match Propagate.decide v ~sigma:[] phi_ac with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "A=C does not propagate"
+
+let test_selection_lifts_fd () =
+  (* With FD A→B and selection A='a', B is constant on the view — but its
+     value is unknown, so (B → B, (_ ‖ b)) is not propagated while
+     unconditional B-agreement is: (∅ → B, (‖ _)) i.e. any two tuples agree
+     on B. *)
+  let v =
+    Spc.make_exn ~source:sel_db ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "a") ]
+      ~atoms:[ Spc.atom sel_db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  let phi = C.make "W" [] ("B", wild) in
+  (match Propagate.decide v ~sigma phi with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "B constant-valued on the view");
+  let phi_c = C.make "W" [] ("C", wild) in
+  match Propagate.decide v ~sigma phi_c with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "C not constant-valued"
+
+(* --- Product (C fragment) ------------------------------------------- *)
+
+let test_product_preserves_fds () =
+  let t_schema = Schema.relation "T" [ Attribute.make "D" Domain.string ] in
+  let db = Schema.db [ sel_schema; t_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ]; Spc.atom db "T" [ "D" ] ]
+      ~projection:[ "A"; "B"; "C"; "D" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  (* A → B survives the product... *)
+  (match Propagate.decide v ~sigma (C.fd "W" [ "A" ] "B") with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "A->B through product");
+  (* ... but A → D does not. *)
+  match Propagate.decide v ~sigma (C.fd "W" [ "A" ] "D") with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "A->D must fail"
+
+let test_join_transfers_fd () =
+  (* SC view: σ_{S.B = S'.A'}(S × S') with FDs A→B on both: A → B' should
+     propagate through the join chain A→B=A'→B'. *)
+  let db = Schema.db [ sel_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_eq ("B", "A2") ]
+      ~atoms:
+        [
+          Spc.atom db "S" [ "A"; "B"; "C" ];
+          Spc.atom db "S" [ "A2"; "B2"; "C2" ];
+        ]
+      ~projection:[ "A"; "B"; "A2"; "B2" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B" ] in
+  (match Propagate.decide v ~sigma (C.fd "W" [ "A" ] "B2") with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "A->B2 through join");
+  match Propagate.decide v ~sigma (C.fd "W" [ "B2" ] "A") with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "B2->A must fail"
+
+(* --- Projection (P fragment) ----------------------------------------- *)
+
+let test_projection_composes_fds () =
+  let db = Schema.db [ sel_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "C" ] ()
+  in
+  let sigma = [ C.fd "S" [ "A" ] "B"; C.fd "S" [ "B" ] "C" ] in
+  (match Propagate.decide v ~sigma (C.fd "W" [ "A" ] "C") with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "A->C after dropping B");
+  match Propagate.decide v ~sigma (C.fd "W" [ "C" ] "A") with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "C->A must fail"
+
+let test_pattern_blocks_transitivity () =
+  (* ([A='a'] → B, with B='b') and (B → C) compose only under the
+     condition. *)
+  let db = Schema.db [ sel_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "C" ] ()
+  in
+  let sigma =
+    [
+      C.make "S" [ ("A", const "a") ] ("B", const "b");
+      C.fd "S" [ "B" ] "C";
+    ]
+  in
+  let phi_cond = C.make "W" [ ("A", const "a") ] ("C", wild) in
+  (match Propagate.decide v ~sigma phi_cond with
+   | Propagate.Propagated -> ()
+   | _ -> Alcotest.fail "conditional A->C propagates");
+  let phi_uncond = C.fd "W" [ "A" ] "C" in
+  match Propagate.decide v ~sigma phi_uncond with
+  | Propagate.Not_propagated _ -> ()
+  | _ -> Alcotest.fail "unconditional A->C must fail"
+
+(* --- Statically empty view ------------------------------------------- *)
+
+let test_statically_empty_view_propagates_everything () =
+  let db = Schema.db [ sel_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "x"); Spc.Sel_const ("A", str "y") ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  match Propagate.decide v ~sigma:[] (C.fd "W" [ "B" ] "C") with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "empty view satisfies everything"
+
+let test_cfd_empties_view () =
+  (* Example 3.1: Σ forces B = b1, the view selects B = b2 ≠ b1: empty. *)
+  let db = Schema.db [ sel_schema ] in
+  let v =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_const ("B", str "b2") ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let sigma = [ C.make "S" [ ("A", wild) ] ("B", const "b1") ] in
+  match Propagate.decide v ~sigma (C.fd "W" [ "C" ] "A") with
+  | Propagate.Propagated -> ()
+  | _ -> Alcotest.fail "Sigma-empty view satisfies everything"
+
+let suite =
+  [
+    ("f1 not propagated as plain FD", `Quick, test_f1_not_fd);
+    ("phi1 propagated", `Quick, test_phi1);
+    ("phi2 propagated", `Quick, test_phi2);
+    ("phi3 propagated", `Quick, test_phi3);
+    ("no FD on us branch", `Quick, test_phi2_wrong_cc);
+    ("AC->city unconditional fails", `Quick, test_ac_city_unconditional);
+    ("phi4 propagated", `Quick, test_phi4);
+    ("phi5 propagated", `Quick, test_phi5);
+    ("phi4 needs cfd1", `Quick, test_phi4_needs_cfd1);
+    ("phi4 without CC fails", `Quick, test_phi4_without_cc);
+    ("phi6 not propagated", `Quick, test_phi6);
+    ("CC constants per branch", `Quick, test_cc_constant_per_branch);
+    ("Fig.1 instance satisfies the view CFDs", `Quick, test_fig1_view_satisfies);
+    ("selection introduces constants", `Quick, test_selection_introduces_constant);
+    ("selection introduces attr equality", `Quick, test_selection_attr_eq);
+    ("selection + FD give constant column", `Quick, test_selection_lifts_fd);
+    ("product preserves per-source FDs", `Quick, test_product_preserves_fds);
+    ("join transfers FDs", `Quick, test_join_transfers_fd);
+    ("projection composes FDs", `Quick, test_projection_composes_fds);
+    ("patterns block transitivity", `Quick, test_pattern_blocks_transitivity);
+    ("statically empty view", `Quick, test_statically_empty_view_propagates_everything);
+    ("CFD-empty view (Example 3.1)", `Quick, test_cfd_empties_view);
+  ]

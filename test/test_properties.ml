@@ -1,0 +1,329 @@
+(* Property-based tests (qcheck): algebraic laws of the pattern lattice,
+   semantic agreement between the decision procedures and actual data, and
+   agreement between independent implementations. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+module Gen = QCheck2.Gen
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_sym =
+  Gen.oneof
+    [
+      Gen.return P.Wild;
+      Gen.map (fun n -> P.Const (Value.int (1 + (abs n mod 4)))) Gen.int;
+    ]
+
+(* A seeded workload: small schema, CFDs, view, database. *)
+let gen_seed = Gen.int_range 0 1_000_000
+
+let workload_of_seed seed =
+  let rng = Workload.Rng.make seed in
+  let schema =
+    Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:4
+  in
+  let sigma =
+    Workload.Cfd_gen.generate rng ~schema ~count:4 ~max_lhs:3 ~var_pct:50
+  in
+  let view =
+    Workload.View_gen.generate rng
+      ~schema
+      ~y:(Workload.Rng.range rng 2 4)
+      ~f:(Workload.Rng.range rng 0 2)
+      ~ec:2
+  in
+  (rng, schema, sigma, view)
+
+let random_view_cfd rng view =
+  let schema = Spc.view_schema view in
+  match
+    Workload.Cfd_gen.generate rng ~schema:(Schema.db [ schema ]) ~count:1
+      ~max_lhs:3 ~var_pct:50
+  with
+  | [ phi ] -> phi
+  | _ -> assert false
+
+(* --- pattern lattice laws ---------------------------------------------- *)
+
+let prop_leq_reflexive =
+  QCheck2.Test.make ~name:"leq reflexive" ~count:200 gen_sym (fun p ->
+      P.leq p p)
+
+let prop_leq_antisym =
+  QCheck2.Test.make ~name:"leq antisymmetric" ~count:500
+    (Gen.pair gen_sym gen_sym) (fun (p, q) ->
+      if P.leq p q && P.leq q p then P.equal p q else true)
+
+let prop_meet_commutative =
+  QCheck2.Test.make ~name:"meet commutative" ~count:500
+    (Gen.pair gen_sym gen_sym) (fun (p, q) ->
+      match P.meet p q, P.meet q p with
+      | Some a, Some b -> P.equal a b
+      | None, None -> true
+      | _ -> false)
+
+let prop_meet_is_glb =
+  QCheck2.Test.make ~name:"meet is a lower bound" ~count:500
+    (Gen.pair gen_sym gen_sym) (fun (p, q) ->
+      match P.meet p q with
+      | Some m -> P.leq m p && P.leq m q
+      | None -> true)
+
+let prop_leq_implies_compatible =
+  QCheck2.Test.make ~name:"leq implies compatibility" ~count:500
+    (Gen.pair gen_sym gen_sym) (fun (p, q) ->
+      if P.leq p q then P.compatible p q else true)
+
+(* --- satisfaction ------------------------------------------------------- *)
+
+let prop_satisfies_iff_no_violations =
+  QCheck2.Test.make ~name:"satisfies iff violations empty" ~count:100 gen_seed
+    (fun seed ->
+      let rng, schema, sigma, _ = workload_of_seed seed in
+      let db = Workload.Data_gen.database rng schema ~rows:8 ~value_range:3 in
+      List.for_all
+        (fun c ->
+          let inst = Database.instance db c.C.rel in
+          C.satisfies inst c = (C.violations inst c = []))
+        sigma)
+
+let prop_strip_wildcards_preserves_satisfaction =
+  QCheck2.Test.make ~name:"wildcard stripping preserves satisfaction"
+    ~count:100 gen_seed (fun seed ->
+      let rng, schema, sigma, _ = workload_of_seed seed in
+      let db = Workload.Data_gen.database rng schema ~rows:8 ~value_range:3 in
+      List.for_all
+        (fun c ->
+          let inst = Database.instance db c.C.rel in
+          C.satisfies inst c = C.satisfies inst (C.strip_redundant_wildcards c))
+        sigma)
+
+(* --- decisions vs data -------------------------------------------------- *)
+
+let prop_propagated_holds_on_data =
+  QCheck2.Test.make ~name:"propagated CFDs hold on repaired data" ~count:60
+    gen_seed (fun seed ->
+      let rng, schema, sigma, view = workload_of_seed seed in
+      let phi = random_view_cfd rng view in
+      match Propagate.decide view ~sigma phi with
+      | Propagate.Propagated ->
+        let db = Workload.Data_gen.database rng schema ~rows:10 ~value_range:3 in
+        let db = Workload.Data_gen.repair_db db sigma in
+        C.satisfies (Spc.eval view db) phi
+      | Propagate.Not_propagated witness ->
+        (* The witness must satisfy Σ and break φ on the view. *)
+        List.for_all
+          (fun c -> C.satisfies (Database.instance witness c.C.rel) c)
+          sigma
+        && not (C.satisfies (Spc.eval view witness) phi)
+      | Propagate.Budget_exceeded -> true)
+
+let prop_emptiness_witness =
+  QCheck2.Test.make ~name:"emptiness answers are witnessed" ~count:60 gen_seed
+    (fun seed ->
+      let rng, schema, sigma, view = workload_of_seed seed in
+      ignore rng;
+      ignore schema;
+      match Emptiness.check_spc view ~sigma with
+      | Emptiness.Nonempty witness ->
+        List.for_all
+          (fun c -> C.satisfies (Database.instance witness c.C.rel) c)
+          sigma
+        && not (Relation.is_empty (Spc.eval view witness))
+      | Emptiness.Empty | Emptiness.Budget_exceeded -> true)
+
+let prop_cover_sound_and_complete =
+  QCheck2.Test.make ~name:"cover decision agrees with chase decision"
+    ~count:40 gen_seed (fun seed ->
+      let rng, _, sigma, view = workload_of_seed seed in
+      let r = Propcover.cover view sigma in
+      let schema = Spc.view_schema view in
+      let phi = random_view_cfd rng view in
+      let direct =
+        match Propagate.decide view ~sigma phi with
+        | Propagate.Propagated -> true
+        | _ -> false
+      in
+      let via_cover = Implication.implies schema r.Propcover.cover phi in
+      direct = via_cover)
+
+let prop_mincover_equivalent =
+  QCheck2.Test.make ~name:"MinCover output is equivalent" ~count:60 gen_seed
+    (fun seed ->
+      let _, schema, sigma, _ = workload_of_seed seed in
+      List.for_all
+        (fun rel ->
+          let mine =
+            List.filter
+              (fun c -> String.equal c.C.rel (Schema.relation_name rel))
+              sigma
+          in
+          let out = Mincover.minimal_cover rel mine in
+          Implication.equivalent rel mine out)
+        (Schema.relations schema))
+
+(* --- independent implementations agree ---------------------------------- *)
+
+let prop_fast_impl_agrees_with_chase =
+  QCheck2.Test.make ~name:"fast implication = identity-view propagation"
+    ~count:80 gen_seed (fun seed ->
+      let rng, schema, sigma, _ = workload_of_seed seed in
+      let rel = List.hd (Schema.relations schema) in
+      let mine =
+        List.filter (fun c -> String.equal c.C.rel (Schema.relation_name rel)) sigma
+      in
+      let phi =
+        match
+          Workload.Cfd_gen.generate rng ~schema:(Schema.db [ rel ]) ~count:1
+            ~max_lhs:3 ~var_pct:50
+        with
+        | [ p ] -> p
+        | _ -> assert false
+      in
+      let fast = Fixtures.Implication.implies rel mine phi in
+      let via_chase =
+        match
+          Propagate.decide
+            ~strategy:Propagate.Chase_only
+            (Implication.identity_view rel)
+            ~sigma:mine phi
+        with
+        | Propagate.Propagated -> true
+        | _ -> false
+      in
+      fast = via_chase)
+
+let prop_spc_eval_equals_algebra =
+  QCheck2.Test.make ~name:"SPC eval = algebra eval" ~count:60 gen_seed
+    (fun seed ->
+      let rng, schema, _, view = workload_of_seed seed in
+      let db = Workload.Data_gen.database rng schema ~rows:6 ~value_range:3 in
+      let direct = Spc.eval view db in
+      let via_algebra =
+        Algebra.eval schema (Spc.to_algebra view) db ~name:view.Spc.name
+      in
+      Relation.equal direct via_algebra)
+
+let prop_spcu_eval_is_union =
+  QCheck2.Test.make ~name:"SPCU eval = union of branches" ~count:40 gen_seed
+    (fun seed ->
+      let rng, schema, _, view = workload_of_seed seed in
+      let u = Spcu.make_exn ~name:"U" [ view; view ] in
+      let db = Workload.Data_gen.database rng schema ~rows:6 ~value_range:3 in
+      Relation.cardinality (Spcu.eval u db)
+      = Relation.cardinality (Spc.eval view db))
+
+(* --- repair ------------------------------------------------------------- *)
+
+let prop_repair_always_satisfies =
+  QCheck2.Test.make ~name:"repairs always satisfy" ~count:60 gen_seed
+    (fun seed ->
+      let rng, schema, sigma, _ = workload_of_seed seed in
+      let db = Workload.Data_gen.database rng schema ~rows:10 ~value_range:3 in
+      List.for_all
+        (fun strategy ->
+          let db' = Cfds.Repair.repair_db ~strategy db sigma in
+          List.for_all
+            (fun c -> C.satisfies (Database.instance db' c.C.rel) c)
+            sigma)
+        [ Cfds.Repair.Delete_tuples; Cfds.Repair.Modify_values ])
+
+let prop_repair_deletion_is_subset =
+  QCheck2.Test.make ~name:"deletion repairs only remove tuples" ~count:60
+    gen_seed (fun seed ->
+      let rng, schema, sigma, _ = workload_of_seed seed in
+      let db = Workload.Data_gen.database rng schema ~rows:10 ~value_range:3 in
+      let db' = Cfds.Repair.repair_db ~strategy:Cfds.Repair.Delete_tuples db sigma in
+      List.for_all
+        (fun rel ->
+          let before = Database.instance db (Schema.relation_name rel) in
+          let after = Database.instance db' (Schema.relation_name rel) in
+          List.for_all (Relation.mem before) (Relation.tuples after))
+        (Schema.relations schema))
+
+(* --- tableau machinery --------------------------------------------------- *)
+
+let prop_minimize_idempotent =
+  QCheck2.Test.make ~name:"tableau minimisation is idempotent" ~count:40
+    gen_seed (fun seed ->
+      let _, _, _, view = workload_of_seed seed in
+      match Chase.Tableau.of_spc ~gen:(Chase.Term.make_gen ()) view with
+      | Error `Statically_empty -> true
+      | Ok t ->
+        let m = Chase.Homomorphism.minimize t in
+        let m2 = Chase.Homomorphism.minimize m in
+        List.length m.Chase.Tableau.rows = List.length m2.Chase.Tableau.rows
+        && Chase.Homomorphism.equivalent t m)
+
+let prop_containment_sound_on_data =
+  QCheck2.Test.make ~name:"containment sound on data" ~count:40 gen_seed
+    (fun seed ->
+      let rng, schema, _, view = workload_of_seed seed in
+      (* A more selective variant of the same view. *)
+      let body = Spc.body_attrs view in
+      let a = Attribute.name (List.hd body) in
+      match
+        Spc.make ~source:schema ~name:view.Spc.name
+          ~selection:(Spc.Sel_const (a, Value.int 1) :: view.Spc.selection)
+          ~atoms:view.Spc.atoms ~projection:view.Spc.projection ()
+      with
+      | Error _ -> true
+      | Ok narrower ->
+        let g = Chase.Term.make_gen () in
+        (match
+           ( Chase.Tableau.of_spc ~gen:g narrower,
+             Chase.Tableau.of_spc ~gen:g view )
+         with
+         | Ok tn, Ok tv ->
+           (* Containment must hold syntactically… *)
+           Chase.Homomorphism.contained tn tv
+           &&
+           (* …and semantically on random data. *)
+           let db = Workload.Data_gen.database rng schema ~rows:6 ~value_range:3 in
+           List.for_all
+             (fun t -> Relation.mem (Spc.eval view db) t)
+             (Relation.tuples (Spc.eval narrower db))
+         | _ -> true))
+
+(* --- SPCU cover extension ------------------------------------------------ *)
+
+let prop_spcu_cover_sound =
+  QCheck2.Test.make ~name:"SPCU covers are certified" ~count:25 gen_seed
+    (fun seed ->
+      let _, _, sigma, view = workload_of_seed seed in
+      let u = Spcu.make_exn ~name:view.Spc.name [ view ] in
+      let r = Propcover.cover_spcu u sigma in
+      r.Propcover.always_empty
+      || List.for_all
+           (fun phi ->
+             match Propagate.decide_spcu u ~sigma phi with
+             | Propagate.Propagated -> true
+             | _ -> false)
+           r.Propcover.cover)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_leq_reflexive;
+      prop_leq_antisym;
+      prop_meet_commutative;
+      prop_meet_is_glb;
+      prop_leq_implies_compatible;
+      prop_satisfies_iff_no_violations;
+      prop_strip_wildcards_preserves_satisfaction;
+      prop_propagated_holds_on_data;
+      prop_emptiness_witness;
+      prop_cover_sound_and_complete;
+      prop_mincover_equivalent;
+      prop_fast_impl_agrees_with_chase;
+      prop_spc_eval_equals_algebra;
+      prop_spcu_eval_is_union;
+      prop_repair_always_satisfies;
+      prop_repair_deletion_is_subset;
+      prop_minimize_idempotent;
+      prop_containment_sound_on_data;
+      prop_spcu_cover_sound;
+    ]

@@ -1,0 +1,131 @@
+(* Reduction By Resolution (Fig. 3) and Example 4.2. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let test_example_4_2 () =
+  (* φ1 = R([A1,A2] → A, (_, c ‖ a)), φ2 = R([A,A2,B1] → B, (_, c, b ‖ _)):
+     the A-resolvent is R([A1,A2,B1] → B, (_, c, b ‖ _)). *)
+  let phi1 =
+    C.make "R" [ ("A1", P.Wild); ("A2", const "c") ] ("A", const "a")
+  in
+  let phi2 =
+    C.make "R"
+      [ ("A", P.Wild); ("A2", const "c"); ("B1", const "b") ]
+      ("B", P.Wild)
+  in
+  match Rbr.resolvent phi1 phi2 ~on:"A" with
+  | None -> Alcotest.fail "resolvent must exist"
+  | Some phi ->
+    let expected =
+      C.make "R"
+        [ ("A1", P.Wild); ("A2", const "c"); ("B1", const "b") ]
+        ("B", P.Wild)
+    in
+    Alcotest.check cfd_testable "Example 4.2" (C.canonical expected)
+      (C.canonical phi)
+
+let test_resolvent_blocked_by_pattern () =
+  (* φ1's RHS constant must ≤ φ2's LHS pattern at A. *)
+  let phi1 = C.make "R" [ ("A1", P.Wild) ] ("A", const "a") in
+  let phi2 = C.make "R" [ ("A", const "other") ] ("B", P.Wild) in
+  check_bool "blocked" true (Rbr.resolvent phi1 phi2 ~on:"A" = None);
+  (* Wildcard RHS does not match a constant LHS pattern either. *)
+  let phi1w = C.make "R" [ ("A1", P.Wild) ] ("A", P.Wild) in
+  check_bool "wild-vs-const blocked" true (Rbr.resolvent phi1w phi2 ~on:"A" = None)
+
+let test_resolvent_meet_undefined () =
+  (* Shared attribute with incompatible constants: no resolvent. *)
+  let phi1 = C.make "R" [ ("C", const "x") ] ("A", P.Wild) in
+  let phi2 = C.make "R" [ ("A", P.Wild); ("C", const "y") ] ("B", P.Wild) in
+  check_bool "meet undefined" true (Rbr.resolvent phi1 phi2 ~on:"A" = None)
+
+let test_resolvent_never_reintroduces () =
+  (* φ1 mentioning A on both sides cannot help eliminate A. *)
+  let phi1 = C.make "R" [ ("A", P.Wild); ("C", P.Wild) ] ("A", P.Wild) in
+  let phi2 = C.make "R" [ ("A", P.Wild) ] ("B", P.Wild) in
+  check_bool "no reintroduction" true (Rbr.resolvent phi1 phi2 ~on:"A" = None)
+
+let test_drop_shortcuts_fd_chain () =
+  let sigma = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C" ] in
+  let out = Rbr.drop sigma "B" in
+  check_bool "A->C derived" true
+    (List.exists (fun c -> C.equal c (C.canonical (C.fd "R" [ "A" ] "C"))) out);
+  check_bool "no CFD mentions B" true
+    (List.for_all (fun c -> not (List.mem "B" (C.attrs c))) out)
+
+(* Proposition 4.4(b): RBR(Σ, U − Y) is a propagation cover of Σ via π_Y.
+   Cross-validated against the chase decision procedure on random inputs. *)
+let test_rbr_is_projection_cover () =
+  let rng = Workload.Rng.make 123 in
+  let attrs = List.init 6 (fun i -> Printf.sprintf "A%d" (i + 1)) in
+  let schema =
+    Schema.relation "R" (List.map (fun a -> Attribute.make a Domain.int) attrs)
+  in
+  let db = Schema.db [ schema ] in
+  for round = 1 to 8 do
+    let sigma =
+      Workload.Cfd_gen.generate rng ~schema:db ~count:6 ~max_lhs:4 ~var_pct:60
+    in
+    let y = Workload.Rng.sample rng 4 attrs in
+    let view =
+      Spc.make_exn ~source:db ~name:"V"
+        ~atoms:[ Spc.atom db "R" attrs ]
+        ~projection:y ()
+    in
+    let sigma_v = List.map (fun c -> C.with_rel c "V") sigma in
+    let drop_attrs = List.filter (fun a -> not (List.mem a y)) attrs in
+    let cover, completeness = Rbr.reduce sigma_v ~drop_attrs in
+    check_bool "complete" true (completeness = `Complete);
+    (* Soundness: every cover CFD is propagated. *)
+    List.iter
+      (fun c ->
+        match Propagate.decide view ~sigma c with
+        | Propagate.Propagated -> ()
+        | _ ->
+          Alcotest.failf "round %d: unsound cover CFD %a" round C.pp c)
+      cover;
+    (* Completeness: random candidate CFDs decided propagated are implied by
+       the cover. *)
+    let view_schema = Spc.view_schema view in
+    for _ = 1 to 15 do
+      let candidate =
+        Workload.Cfd_gen.generate rng
+          ~schema:(Schema.db [ Schema.relation "V" (List.map (Schema.attr view_schema) y) ])
+          ~count:1 ~max_lhs:3 ~var_pct:60
+      in
+      match candidate with
+      | [ phi ] ->
+        let direct =
+          match Propagate.decide view ~sigma phi with
+          | Propagate.Propagated -> true
+          | _ -> false
+        in
+        let via_cover = Implication.implies view_schema cover phi in
+        if direct <> via_cover then
+          Alcotest.failf "round %d: cover disagrees on %a (direct=%b)" round
+            C.pp phi direct
+      | _ -> assert false
+    done
+  done
+
+let test_heuristic_truncation () =
+  (* With max_size 0 the heuristic returns only already-clean CFDs. *)
+  let sigma = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C"; C.fd "R" [ "A" ] "D" ] in
+  let out, flag = Rbr.reduce ~max_size:0 sigma ~drop_attrs:[ "B" ] in
+  check_bool "truncated" true (flag = `Truncated);
+  check_bool "only clean CFDs" true
+    (List.for_all (fun c -> not (List.mem "B" (C.attrs c))) out)
+
+let suite =
+  [
+    ("Example 4.2 resolvent", `Quick, test_example_4_2);
+    ("pattern order blocks resolvents", `Quick, test_resolvent_blocked_by_pattern);
+    ("undefined meet blocks resolvents", `Quick, test_resolvent_meet_undefined);
+    ("no reintroduction of dropped attr", `Quick, test_resolvent_never_reintroduces);
+    ("drop shortcuts FD chains", `Quick, test_drop_shortcuts_fd_chain);
+    ("RBR computes projection covers", `Slow, test_rbr_is_projection_cover);
+    ("heuristic truncation", `Quick, test_heuristic_truncation);
+  ]

@@ -1,0 +1,125 @@
+(* The relational substrate: values, domains, schemas, tuples, instances. *)
+
+open Relational
+open Fixtures
+
+let test_value_compare () =
+  check_bool "int eq" true (Value.equal (int 3) (int 3));
+  check_bool "str neq int" false (Value.equal (str "3") (int 3));
+  check_bool "ordering" true (Value.compare (int 1) (int 2) < 0);
+  check_bool "total across types" true (Value.compare (int 1) (str "a") <> 0)
+
+let test_domain_membership () =
+  check_bool "int in int" true (Domain.mem (int 5) Domain.int);
+  check_bool "str not in int" false (Domain.mem (str "x") Domain.int);
+  check_bool "bool in boolean" true (Domain.mem (Value.bool true) Domain.boolean);
+  let d = Domain.finite [ int 1; int 2 ] in
+  check_bool "member" true (Domain.mem (int 1) d);
+  check_bool "non-member" false (Domain.mem (int 3) d)
+
+let test_domain_finite_validation () =
+  Alcotest.check_raises "empty finite" (Invalid_argument "Domain.finite: empty domain")
+    (fun () -> ignore (Domain.finite []));
+  (try
+     ignore (Domain.finite [ int 1; str "a" ]);
+     Alcotest.fail "mixed types accepted"
+   with Invalid_argument _ -> ())
+
+let test_fresh_constants () =
+  let avoid = [ int 1000000007 ] in
+  let fresh = Domain.fresh_constants Domain.int 3 ~avoid in
+  check_int "three fresh" 3 (List.length fresh);
+  check_bool "avoids" true
+    (List.for_all (fun v -> not (List.exists (Value.equal v) avoid)) fresh);
+  check_bool "distinct" true
+    (List.length (List.sort_uniq Value.compare fresh) = 3)
+
+let test_schema_lookup () =
+  let r = abc_schema () in
+  check_int "arity" 3 (Schema.arity r);
+  check_int "index of B" 1 (Schema.attr_index r "B");
+  check_bool "mem" true (Schema.mem_attr r "C");
+  check_bool "not mem" false (Schema.mem_attr r "Z");
+  check_bool "finite detection" false (Schema.has_finite_attr r)
+
+let test_schema_duplicate_attr () =
+  try
+    ignore
+      (Schema.relation "R"
+         [ Attribute.make "A" Domain.int; Attribute.make "A" Domain.int ]);
+    Alcotest.fail "duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let test_db_duplicate_relation () =
+  let r = abc_schema () in
+  try
+    ignore (Schema.db [ r; r ]);
+    Alcotest.fail "duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let test_tuple_ops () =
+  let r = abc_schema () in
+  let t = Tuple.make [ str "x"; str "y"; str "z" ] in
+  check_bool "get" true (Value.equal (Tuple.get r t "B") (str "y"));
+  let p = Tuple.project r t [ "C"; "A" ] in
+  check_bool "project order" true
+    (Tuple.equal p (Tuple.make [ str "z"; str "x" ]));
+  check_bool "conforms" true (Tuple.conforms r t);
+  check_bool "arity mismatch" false (Tuple.conforms r (Tuple.make [ str "x" ]))
+
+let test_tuple_conformance_domains () =
+  let r =
+    Schema.relation "R"
+      [ Attribute.make "A" Domain.int; Attribute.make "B" Domain.boolean ]
+  in
+  check_bool "good" true (Tuple.conforms r (Tuple.make [ int 1; Value.bool true ]));
+  check_bool "bad type" false (Tuple.conforms r (Tuple.make [ str "x"; Value.bool true ]))
+
+let test_relation_dedup () =
+  let r = abc_schema () in
+  let t = Tuple.make [ str "x"; str "y"; str "z" ] in
+  let inst = Relation.make r [ t; t; t ] in
+  check_int "dedup" 1 (Relation.cardinality inst)
+
+let test_relation_set_ops () =
+  let r = abc_schema () in
+  let t1 = Tuple.make [ str "1"; str "2"; str "3" ] in
+  let t2 = Tuple.make [ str "4"; str "5"; str "6" ] in
+  let a = Relation.make r [ t1 ] and b = Relation.make r [ t1; t2 ] in
+  check_int "union" 2 (Relation.cardinality (Relation.union a b));
+  check_int "diff" 1 (Relation.cardinality (Relation.diff b a));
+  check_bool "mem" true (Relation.mem b t2)
+
+let test_relation_rejects_nonconforming () =
+  let r =
+    Schema.relation "R" [ Attribute.make "A" (Domain.finite [ int 0; int 1 ]) ]
+  in
+  try
+    ignore (Relation.make r [ Tuple.make [ int 7 ] ]);
+    Alcotest.fail "accepted out-of-domain value"
+  with Invalid_argument _ -> ()
+
+let test_database_ops () =
+  check_int "d1 rows" 2 (Relation.cardinality (Database.instance fig1_db "R1"));
+  let empty = Database.empty sources in
+  check_bool "empty" true (Relation.is_empty (Database.instance empty "R2"));
+  let db2 = Database.with_instance empty d2 in
+  check_int "after with_instance" 2
+    (Relation.cardinality (Database.instance db2 "R2"))
+
+let suite =
+  [
+    ("value compare/equal", `Quick, test_value_compare);
+    ("domain membership", `Quick, test_domain_membership);
+    ("finite domain validation", `Quick, test_domain_finite_validation);
+    ("fresh constants", `Quick, test_fresh_constants);
+    ("schema lookup", `Quick, test_schema_lookup);
+    ("duplicate attribute rejected", `Quick, test_schema_duplicate_attr);
+    ("duplicate relation rejected", `Quick, test_db_duplicate_relation);
+    ("tuple operations", `Quick, test_tuple_ops);
+    ("tuple domain conformance", `Quick, test_tuple_conformance_domains);
+    ("relation dedup", `Quick, test_relation_dedup);
+    ("relation set operations", `Quick, test_relation_set_ops);
+    ("relation domain check", `Quick, test_relation_rejects_nonconforming);
+    ("database operations", `Quick, test_database_ops);
+  ]

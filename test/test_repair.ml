@@ -1,0 +1,127 @@
+(* CFD violation repair (data cleaning). *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+module Repair = Cfds.Repair
+
+let schema = abc_schema ()
+let mk rows = Relation.make schema (List.map (fun vs -> Tuple.make (List.map str vs)) rows)
+
+let test_clean_input_untouched () =
+  let r = mk [ [ "1"; "2"; "3" ]; [ "4"; "5"; "6" ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B" ] in
+  let rep = Repair.repair r sigma in
+  check_int "no deletions" 0 rep.Repair.deleted;
+  check_int "no writes" 0 rep.Repair.modified;
+  check_bool "unchanged" true (Relation.equal r rep.Repair.repaired)
+
+let test_binding_repair () =
+  (* ([A='k'] → C='c'): the offending cell is overwritten. *)
+  let r = mk [ [ "k"; "x"; "wrong" ] ] in
+  let sigma = [ C.make "R" [ ("A", const "k") ] ("C", const "c") ] in
+  let rep = Repair.repair r sigma in
+  check_bool "satisfies after repair" true
+    (C.satisfies rep.Repair.repaired (List.hd sigma));
+  check_int "one write" 1 rep.Repair.modified;
+  check_int "no deletions" 0 rep.Repair.deleted;
+  let t = List.hd (Relation.tuples rep.Repair.repaired) in
+  check_bool "value written" true (Value.equal t.(2) (str "c"))
+
+let test_majority_repair () =
+  (* Three tuples agree on A; B values 2-1 split: minority overwritten. *)
+  let r = mk [ [ "k"; "v"; "1" ]; [ "k"; "v"; "2" ]; [ "k"; "w"; "3" ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B" ] in
+  let rep = Repair.repair r sigma in
+  check_bool "satisfied" true (C.satisfies rep.Repair.repaired (List.hd sigma));
+  check_int "no deletions" 0 rep.Repair.deleted;
+  check_int "one write" 1 rep.Repair.modified;
+  let bs =
+    List.map (fun (t : Tuple.t) -> t.(1)) (Relation.tuples rep.Repair.repaired)
+    |> List.sort_uniq Value.compare
+  in
+  check_bool "majority value kept" true (bs = [ str "v" ])
+
+let test_cascading_repair () =
+  (* Fixing A→B can break B→C; sweeps must cascade. *)
+  let r = mk [ [ "k"; "b1"; "c1" ]; [ "k"; "b1"; "c1" ]; [ "k"; "b2"; "c2" ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B"; C.fd "R" [ "B" ] "C" ] in
+  let rep = Repair.repair r sigma in
+  check_bool "all satisfied" true (C.satisfies_all rep.Repair.repaired sigma)
+
+let test_attr_eq_repair () =
+  let r = mk [ [ "x"; "y"; "z" ] ] in
+  let sigma = [ C.attr_eq "R" "A" "B" ] in
+  let rep = Repair.repair r sigma in
+  check_bool "A=B after repair" true (C.satisfies_all rep.Repair.repaired sigma)
+
+let test_deletion_strategy () =
+  let r = mk [ [ "k"; "v"; "1" ]; [ "k"; "w"; "2" ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B" ] in
+  let rep = Repair.repair ~strategy:Repair.Delete_tuples r sigma in
+  check_bool "satisfied" true (C.satisfies_all rep.Repair.repaired sigma);
+  check_int "one tuple deleted" 1 rep.Repair.deleted;
+  check_int "one tuple left" 1 (Relation.cardinality rep.Repair.repaired)
+
+let test_deletion_fallback () =
+  (* Conflicting constant CFDs cannot be value-repaired: the offending
+     matching tuples must go. *)
+  let r = mk [ [ "k"; "v"; "1" ]; [ "z"; "w"; "2" ] ] in
+  let sigma =
+    [
+      C.make "R" [ ("A", const "k") ] ("C", const "c1");
+      C.make "R" [ ("A", const "k") ] ("C", const "c2");
+    ]
+  in
+  let rep = Repair.repair r sigma in
+  check_bool "satisfied" true (C.satisfies_all rep.Repair.repaired sigma);
+  check_bool "fallback deleted something" true (rep.Repair.deleted >= 1);
+  check_int "the unrelated tuple survives" 1
+    (Relation.cardinality rep.Repair.repaired)
+
+let test_random_repairs_always_satisfy () =
+  let rng = Workload.Rng.make 404 in
+  let schema_db =
+    Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:4
+  in
+  for _ = 1 to 15 do
+    let sigma =
+      Workload.Cfd_gen.generate rng ~schema:schema_db ~count:5 ~max_lhs:3 ~var_pct:40
+    in
+    let db = Workload.Data_gen.database rng schema_db ~rows:12 ~value_range:3 in
+    List.iter
+      (fun strategy ->
+        let db' = Repair.repair_db ~strategy db sigma in
+        List.iter
+          (fun rel ->
+            let inst = Database.instance db' (Schema.relation_name rel) in
+            List.iter
+              (fun c ->
+                if String.equal c.C.rel (Schema.relation_name rel) then
+                  check_bool "repaired satisfies" true (C.satisfies inst c))
+              sigma)
+          (Schema.relations schema_db))
+      [ Repair.Delete_tuples; Repair.Modify_values ]
+  done
+
+let test_deletion_only_removes () =
+  (* Deletion never invents tuples. *)
+  let r = mk [ [ "k"; "v"; "1" ]; [ "k"; "w"; "2" ]; [ "z"; "u"; "3" ] ] in
+  let sigma = [ C.fd "R" [ "A" ] "B" ] in
+  let rep = Repair.repair ~strategy:Repair.Delete_tuples r sigma in
+  check_bool "subset of the input" true
+    (List.for_all (Relation.mem r) (Relation.tuples rep.Repair.repaired))
+
+let suite =
+  [
+    ("clean input untouched", `Quick, test_clean_input_untouched);
+    ("binding repair", `Quick, test_binding_repair);
+    ("majority repair", `Quick, test_majority_repair);
+    ("cascading repairs", `Quick, test_cascading_repair);
+    ("attr-eq repair", `Quick, test_attr_eq_repair);
+    ("deletion strategy", `Quick, test_deletion_strategy);
+    ("deletion fallback", `Quick, test_deletion_fallback);
+    ("random repairs satisfy", `Quick, test_random_repairs_always_satisfy);
+    ("deletion only removes", `Quick, test_deletion_only_removes);
+  ]

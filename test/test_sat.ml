@@ -1,0 +1,69 @@
+(* The Theorem 3.2 reduction: 3SAT ⟺ non-propagation for SC views in the
+   general setting.  Cross-checks the coNP decision procedure against a
+   brute-force SAT solver on small instances. *)
+
+module Sat = Reductions.Sat
+
+let lit var positive = { Sat.var; positive }
+
+let check_instance name f =
+  let expected = Sat.brute_force f in
+  match Sat.satisfiable_via_propagation f with
+  | Ok got -> Alcotest.(check bool) name expected got
+  | Error `Budget_exceeded -> Alcotest.fail (name ^ ": budget exceeded")
+
+let test_sat_single_clause () =
+  (* (x1 ∨ x1 ∨ x1): satisfiable. *)
+  check_instance "single positive clause"
+    (Sat.make ~num_vars:1 [ (lit 1 true, lit 1 true, lit 1 true) ])
+
+let test_unsat_pair () =
+  (* (x1) ∧ (¬x1): unsatisfiable. *)
+  check_instance "contradictory unit clauses"
+    (Sat.make ~num_vars:1
+       [
+         (lit 1 true, lit 1 true, lit 1 true);
+         (lit 1 false, lit 1 false, lit 1 false);
+       ])
+
+let test_sat_two_vars () =
+  (* (x1 ∨ ¬x2 ∨ x2): always satisfiable. *)
+  check_instance "tautological clause"
+    (Sat.make ~num_vars:2 [ (lit 1 true, lit 2 false, lit 2 true) ])
+
+let test_mixed_two_clauses () =
+  (* (x1 ∨ x2 ∨ x2) ∧ (¬x1 ∨ ¬x2 ∨ ¬x2): satisfiable (x1 ≠ x2). *)
+  check_instance "two clauses, two vars"
+    (Sat.make ~num_vars:2
+       [
+         (lit 1 true, lit 2 true, lit 2 true);
+         (lit 1 false, lit 2 false, lit 2 false);
+       ])
+
+let test_random_small () =
+  let rng = Workload.Rng.make 42 in
+  for i = 1 to 5 do
+    let f = Sat.random rng ~num_vars:2 ~num_clauses:2 in
+    check_instance (Printf.sprintf "random %d" i) f
+  done
+
+let test_encoding_shape () =
+  let f =
+    Sat.make ~num_vars:2
+      [ (lit 1 true, lit 2 true, lit 2 true) ]
+  in
+  let e = Sat.encode f in
+  (* 1 (e) + m (e01) + 2n (e02) + 4n (ej) atoms. *)
+  Fixtures.check_int "atom count" (1 + 2 + 2 + 4)
+    (List.length e.Sat.view.Relational.Spc.atoms);
+  Fixtures.check_int "sigma count" (1 + 3) (List.length e.Sat.sigma)
+
+let suite =
+  [
+    ("encoding shape", `Quick, test_encoding_shape);
+    ("satisfiable single clause", `Slow, test_sat_single_clause);
+    ("unsatisfiable pair", `Slow, test_unsat_pair);
+    ("tautological clause", `Slow, test_sat_two_vars);
+    ("two clauses two vars", `Slow, test_mixed_two_clauses);
+    ("random small instances", `Slow, test_random_small);
+  ]

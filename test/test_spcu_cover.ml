@@ -1,0 +1,95 @@
+(* The SPCU-cover extension (Section 7's "supporting union" future work):
+   a certified heuristic — everything it returns must be propagated, and
+   on the running example it must recover ϕ1–ϕ5. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+
+let sigma = [ f1; f2; f3; cfd1; cfd2 ]
+
+let test_running_example_cover () =
+  let r = Propcover.cover_spcu view sigma in
+  check_bool "complete" true r.Propcover.complete;
+  check_bool "nonempty" false r.Propcover.always_empty;
+  let schema = Spcu.view_schema view in
+  let implies = Implication.implies schema r.Propcover.cover in
+  List.iter
+    (fun (label, phi) ->
+      check_bool (label ^ " derivable from the union cover") true (implies phi))
+    [
+      ("phi1", phi1); ("phi2", phi2); ("phi3", phi3); ("phi4", phi4); ("phi5", phi5);
+    ];
+  (* Nothing unsound slipped in. *)
+  check_bool "zip->street FD not derivable" false
+    (implies (C.fd "V" [ "zip" ] "street"));
+  check_bool "phi6 not derivable" false (implies phi6)
+
+let test_every_cover_cfd_propagated () =
+  List.iter
+    (fun phi ->
+      match Propagate.decide_spcu view ~sigma phi with
+      | Propagate.Propagated -> ()
+      | _ -> Alcotest.failf "unsound SPCU cover CFD %a" C.pp phi)
+    (Propcover.cover_spcu view sigma).Propcover.cover
+
+let test_single_branch_degenerates () =
+  (* With one branch, cover_spcu must agree with the SPC cover. *)
+  let u = Spcu.of_spc q1 in
+  let r_union = Propcover.cover_spcu u sigma in
+  let r_spc = Propcover.cover q1 sigma in
+  let schema = Spc.view_schema q1 in
+  check_bool "equivalent to the SPC cover" true
+    (Implication.equivalent schema r_union.Propcover.cover r_spc.Propcover.cover)
+
+let test_random_spcu_soundness () =
+  let rng = Workload.Rng.make 555 in
+  let schema =
+    Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:4
+  in
+  for _ = 1 to 5 do
+    let sigma =
+      Workload.Cfd_gen.generate rng ~schema ~count:4 ~max_lhs:3 ~var_pct:50
+    in
+    let b1 = Workload.View_gen.generate rng ~schema ~y:3 ~f:1 ~ec:1 in
+    (* A second branch over the same projection signature. *)
+    let b2 =
+      let names = b1.Spc.projection in
+      let atom = List.hd b1.Spc.atoms in
+      Spc.make_exn ~source:schema ~name:"V" ~atoms:[ atom ] ~projection:names ()
+    in
+    match Spcu.make ~name:"V" [ b1; b2 ] with
+    | Error _ -> ()
+    | Ok u ->
+      let r = Propcover.cover_spcu u sigma in
+      List.iter
+        (fun phi ->
+          match Propagate.decide_spcu u ~sigma phi with
+          | Propagate.Propagated -> ()
+          | _ -> Alcotest.failf "unsound %a" C.pp phi)
+        r.Propcover.cover
+  done
+
+let test_all_branches_empty () =
+  let s = abc_schema ~name:"S" () in
+  let db = Schema.db [ s ] in
+  let dead =
+    Spc.make_exn ~source:db ~name:"W"
+      ~selection:[ Spc.Sel_const ("A", str "x"); Spc.Sel_const ("B", str "y") ]
+      ~atoms:[ Spc.atom db "S" [ "A"; "B"; "C" ] ]
+      ~projection:[ "A"; "B"; "C" ] ()
+  in
+  let sigma = [ C.make "S" [] ("A", const "z") ] in
+  let u = Spcu.make_exn ~name:"W" [ dead; dead ] in
+  let r = Propcover.cover_spcu u sigma in
+  check_bool "flagged empty" true r.Propcover.always_empty
+
+let suite =
+  [
+    ("running example union cover", `Quick, test_running_example_cover);
+    ("union cover soundness", `Quick, test_every_cover_cfd_propagated);
+    ("single branch degenerates to SPC", `Quick, test_single_branch_degenerates);
+    ("random SPCU covers are sound", `Quick, test_random_spcu_soundness);
+    ("all-empty unions", `Quick, test_all_branches_empty);
+  ]

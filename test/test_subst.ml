@@ -1,0 +1,110 @@
+(* The substitution/union-find layer beneath the chase, and a few more
+   normalisation corners of the RA → SPCU compiler. *)
+
+open Relational
+open Fixtures
+module Term = Chase.Term
+module Subst = Chase.Subst
+module A = Algebra
+
+let v i = Term.V i
+let c s = Term.C (str s)
+
+let test_resolve_chain () =
+  let s = Subst.create () in
+  ignore (Subst.merge s (v 3) (v 2));
+  ignore (Subst.merge s (v 2) (v 1));
+  check_bool "chain resolves to the root" true (Term.equal (Subst.resolve s (v 3)) (v 1));
+  check_bool "constants resolve to themselves" true
+    (Term.equal (Subst.resolve s (c "x")) (c "x"))
+
+let test_merge_direction () =
+  (* Lower-numbered variables win; constants beat variables. *)
+  let s = Subst.create () in
+  ignore (Subst.merge s (v 7) (v 4));
+  check_bool "lower id wins" true (Term.equal (Subst.resolve s (v 7)) (v 4));
+  ignore (Subst.merge s (v 4) (c "k"));
+  check_bool "constant wins" true (Term.equal (Subst.resolve s (v 7)) (c "k"))
+
+let test_merge_outcomes () =
+  let s = Subst.create () in
+  check_bool "fresh merge changes" true (Subst.merge s (v 1) (v 2) = `Changed);
+  check_bool "repeat is no-op" true (Subst.merge s (v 1) (v 2) = `Unchanged);
+  ignore (Subst.merge s (v 1) (c "a"));
+  check_bool "conflict detected" true (Subst.merge s (v 2) (c "b") = `Conflict);
+  check_bool "same constant fine" true (Subst.merge s (v 2) (c "a") = `Unchanged)
+
+let test_apply_row () =
+  let s = Subst.create () in
+  ignore (Subst.merge s (v 1) (c "x"));
+  let row = Subst.apply_row s [| v 1; v 2; c "y" |] in
+  check_bool "bound replaced" true (Term.equal row.(0) (c "x"));
+  check_bool "free kept" true (Term.equal row.(1) (v 2))
+
+let test_term_matches () =
+  check_bool "const matches wild" true (Term.matches (c "a") Cfds.Pattern.Wild);
+  check_bool "var matches wild" true (Term.matches (v 1) Cfds.Pattern.Wild);
+  check_bool "const matches same const" true
+    (Term.matches (c "a") (Cfds.Pattern.Const (str "a")));
+  check_bool "var never matches const" false
+    (Term.matches (v 1) (Cfds.Pattern.Const (str "a")))
+
+(* --- RA → SPCU distribution corners ------------------------------------ *)
+
+let s_schema = ab_schema ~name:"S" ()
+let t_schema = ab_schema ~name:"T" ()
+let db2 = Schema.db [ s_schema; t_schema ]
+
+let test_union_under_product_distributes () =
+  (* (S ∪ σ(S)) × ρ(T) → two SPC branches. *)
+  let q =
+    A.Product
+      ( A.Union (A.Relation "S", A.Select (A.Eq_const ("A", str "x"), A.Relation "S")),
+        A.Rename ([ ("A", "A2"); ("B", "B2") ], A.Relation "T") )
+  in
+  match Spcu.of_algebra db2 ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok u ->
+    check_int "two branches" 2 (List.length u.Spcu.branches);
+    (* Semantics preserved on data. *)
+    let inst r rows =
+      Relation.make r (List.map (fun vs -> Tuple.make (List.map str vs)) rows)
+    in
+    let db =
+      Database.make db2
+        [ inst s_schema [ [ "x"; "1" ]; [ "y"; "2" ] ]; inst t_schema [ [ "u"; "v" ] ] ]
+    in
+    let direct = A.eval db2 q db ~name:"Q" in
+    check_bool "same semantics" true (Relation.equal direct (Spcu.eval u db))
+
+let test_nested_unions_flatten () =
+  let s = A.Relation "S" in
+  let q = A.Union (A.Union (s, s), A.Union (s, s)) in
+  match Spcu.of_algebra db2 ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok u -> check_int "four branches" 4 (List.length u.Spcu.branches)
+
+let test_static_false_branch_dropped () =
+  (* A branch whose constant selections conflict disappears. *)
+  let k = Schema.relation "K" [ Attribute.make "A" Domain.string ] in
+  let q =
+    A.Union
+      ( A.Select
+          (A.Eq_const ("A", str "x"), A.Constant (k, [ Tuple.make [ str "y" ] ])),
+        A.Relation "S" |> fun s -> A.Project ([ "A" ], s) )
+  in
+  match Spcu.of_algebra db2 ~name:"Q" q with
+  | Error e -> Alcotest.fail e
+  | Ok u -> check_int "only the live branch" 1 (List.length u.Spcu.branches)
+
+let suite =
+  [
+    ("resolve chains", `Quick, test_resolve_chain);
+    ("merge direction", `Quick, test_merge_direction);
+    ("merge outcomes", `Quick, test_merge_outcomes);
+    ("apply_row", `Quick, test_apply_row);
+    ("term/pattern matching", `Quick, test_term_matches);
+    ("union distributes over product", `Quick, test_union_under_product_distributes);
+    ("nested unions flatten", `Quick, test_nested_unions_flatten);
+    ("statically false branches dropped", `Quick, test_static_false_branch_dropped);
+  ]

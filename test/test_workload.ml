@@ -1,0 +1,163 @@
+(* The Section 5 generators: determinism and conformance to the described
+   shapes. *)
+
+open Relational
+open Fixtures
+module C = Cfds.Cfd
+module P = Cfds.Pattern
+module Rng = Workload.Rng
+
+let test_rng_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.make 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int (Rng.make 42) 1000000 <> Rng.int c 1000000 then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Rng.make 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10);
+    let y = Rng.range rng 5 9 in
+    check_bool "range inclusive" true (y >= 5 && y <= 9)
+  done
+
+let test_rng_sample () =
+  let rng = Rng.make 11 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    let s = Rng.sample rng 3 xs in
+    check_int "size" 3 (List.length s);
+    check_int "distinct" 3 (List.length (List.sort_uniq compare s));
+    check_bool "subset" true (List.for_all (fun x -> List.mem x xs) s)
+  done;
+  check_int "capped" 5 (List.length (Rng.sample rng 9 xs))
+
+let test_schema_gen_shape () =
+  let rng = Rng.make 1 in
+  let schema = Workload.Schema_gen.default rng in
+  check_int "10 relations" 10 (List.length (Schema.relations schema));
+  List.iter
+    (fun r ->
+      let a = Schema.arity r in
+      check_bool "arity in [10,20]" true (a >= 10 && a <= 20))
+    (Schema.relations schema);
+  check_bool "infinite-domain setting" false (Schema.db_has_finite_attr schema)
+
+let test_cfd_gen_shape () =
+  let rng = Rng.make 2 in
+  let schema = Workload.Schema_gen.default rng in
+  let sigma = Workload.Cfd_gen.generate rng ~schema ~count:300 ~max_lhs:9 ~var_pct:40 in
+  check_int "count" 300 (List.length sigma);
+  List.iter
+    (fun c ->
+      let n = List.length (C.attrs c) in
+      check_bool "3..9 attributes" true (n >= 2 && n <= 9);
+      (* defined on a schema relation, with its attributes *)
+      let rel = Schema.find schema c.C.rel in
+      List.iter (fun a -> check_bool "attr exists" true (Schema.mem_attr rel a)) (C.attrs c);
+      (* no degenerate constant-column CFDs *)
+      match snd c.C.rhs with
+      | P.Const _ ->
+        check_bool "anchored constant RHS" true
+          (List.exists (fun (_, p) -> P.is_const p) c.C.lhs)
+      | _ -> ())
+    sigma
+
+let test_cfd_gen_var_pct () =
+  let rng = Rng.make 3 in
+  let schema = Workload.Schema_gen.default rng in
+  let count_wild sigma =
+    List.fold_left
+      (fun (w, t) c ->
+        List.fold_left
+          (fun (w, t) (_, p) -> ((if p = P.Wild then w + 1 else w), t + 1))
+          (w, t)
+          (c.C.lhs @ [ c.C.rhs ]))
+      (0, 0) sigma
+  in
+  let w40, t40 =
+    count_wild (Workload.Cfd_gen.generate rng ~schema ~count:500 ~max_lhs:9 ~var_pct:40)
+  in
+  let w80, t80 =
+    count_wild (Workload.Cfd_gen.generate rng ~schema ~count:500 ~max_lhs:9 ~var_pct:80)
+  in
+  let f40 = float_of_int w40 /. float_of_int t40 in
+  let f80 = float_of_int w80 /. float_of_int t80 in
+  check_bool "var% ordering" true (f40 < f80);
+  check_bool "rough calibration" true (f40 > 0.25 && f40 < 0.6 && f80 > 0.65)
+
+let test_view_gen_shape () =
+  let rng = Rng.make 4 in
+  let schema = Workload.Schema_gen.default rng in
+  let v = Workload.View_gen.generate rng ~schema ~y:25 ~f:10 ~ec:4 in
+  check_int "ec atoms" 4 (List.length v.Spc.atoms);
+  check_int "f selections" 10 (List.length v.Spc.selection);
+  check_int "y projections" 25 (List.length v.Spc.projection);
+  (* Valid by construction (make_exn didn't raise); evaluable: *)
+  let db = Workload.Data_gen.database rng schema ~rows:3 ~value_range:5 in
+  ignore (Spc.eval v db)
+
+let test_view_gen_distinct_selection_lhs () =
+  let rng = Rng.make 5 in
+  let schema = Workload.Schema_gen.default rng in
+  for _ = 1 to 10 do
+    let v = Workload.View_gen.generate rng ~schema ~y:10 ~f:8 ~ec:3 in
+    let lhs =
+      List.map
+        (function Spc.Sel_eq (a, _) -> a | Spc.Sel_const (a, _) -> a)
+        v.Spc.selection
+    in
+    check_int "distinct selection subjects" (List.length lhs)
+      (List.length (List.sort_uniq String.compare lhs))
+  done
+
+let test_data_gen_conforms () =
+  let rng = Rng.make 6 in
+  let schema = Workload.Schema_gen.generate rng ~relations:3 ~min_arity:3 ~max_arity:5 in
+  let db = Workload.Data_gen.database rng schema ~rows:10 ~value_range:4 in
+  List.iter
+    (fun rel ->
+      let inst = Database.instance db (Schema.relation_name rel) in
+      List.iter
+        (fun t -> check_bool "conforms" true (Tuple.conforms rel t))
+        (Relation.tuples inst))
+    (Schema.relations schema)
+
+let test_repair_satisfies () =
+  let rng = Rng.make 8 in
+  let schema = Workload.Schema_gen.generate rng ~relations:2 ~min_arity:3 ~max_arity:4 in
+  for _ = 1 to 10 do
+    let sigma = Workload.Cfd_gen.generate rng ~schema ~count:5 ~max_lhs:3 ~var_pct:50 in
+    let db = Workload.Data_gen.database rng schema ~rows:15 ~value_range:3 in
+    let db = Workload.Data_gen.repair_db db sigma in
+    List.iter
+      (fun rel ->
+        let inst = Database.instance db (Schema.relation_name rel) in
+        List.iter
+          (fun c ->
+            if String.equal c.C.rel (Schema.relation_name rel) then
+              check_bool "repaired instance satisfies" true (C.satisfies inst c))
+          sigma)
+      (Schema.relations schema)
+  done
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng sampling", `Quick, test_rng_sample);
+    ("schema generator shape", `Quick, test_schema_gen_shape);
+    ("cfd generator shape", `Quick, test_cfd_gen_shape);
+    ("cfd generator var%", `Quick, test_cfd_gen_var_pct);
+    ("view generator shape", `Quick, test_view_gen_shape);
+    ("view generator selection subjects", `Quick, test_view_gen_distinct_selection_lhs);
+    ("data generator conformance", `Quick, test_data_gen_conforms);
+    ("repair reaches satisfaction", `Quick, test_repair_satisfies);
+  ]
