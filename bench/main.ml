@@ -5,6 +5,10 @@
      dune exec bench/main.exe                 # everything, default seeds
      dune exec bench/main.exe fig5 fig6       # selected experiments
      dune exec bench/main.exe --seeds 5 fig7  # more repetitions
+     dune exec bench/main.exe -- --json BENCH_cover.json fig5
+                                              # machine-readable results
+     dune exec bench/main.exe -- --points 2 --seeds 1 fig5   # CI smoke
+     dune exec bench/main.exe -- --domains 4 fig5            # parallel seeds
 
    Experiments (see DESIGN.md / EXPERIMENTS.md):
      fig5      runtime + cover size vs |Sigma|      (Fig. 5a/5b)
@@ -21,6 +25,13 @@ module C = Cfds.Cfd
 module P = Propagation
 
 let seeds = ref 3
+
+(* --points N truncates every figure sweep to its first N x-values (CI
+   smoke runs); --json PATH dumps figure results machine-readably;
+   --domains N runs the per-point seed repetitions on a domain pool. *)
+let max_points = ref None
+let json_path = ref None
+let pool = ref None
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -53,8 +64,9 @@ let run_cover ~seed ~sigma_n ~var_pct ~y ~f ~ec =
 
 let sweep_point ~sigma_n ~var_pct ~y ~f ~ec =
   let runs =
-    List.init !seeds (fun s ->
-        run_cover ~seed:(1000 + (s * 7)) ~sigma_n ~var_pct ~y ~f ~ec)
+    Parallel.Pool.map ?pool:!pool
+      (fun s -> run_cover ~seed:(1000 + (s * 7)) ~sigma_n ~var_pct ~y ~f ~ec)
+      (List.init !seeds Fun.id)
   in
   {
     runtime = mean (List.map (fun (t, _, _) -> t) runs);
@@ -62,41 +74,80 @@ let sweep_point ~sigma_n ~var_pct ~y ~f ~ec =
     empty_frac = mean (List.map (fun (_, _, e) -> if e then 1. else 0.) runs);
   }
 
-let figure ~name ~xlabel ~points ~run =
+(* Figure rows captured for --json output: (key, xlabel, rows). *)
+let json_figures : (string * string * (int * point * point) list) list ref =
+  ref []
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let figure ~key ~name ~xlabel ~points ~run =
+  let points =
+    match !max_points with Some n -> take n points | None -> points
+  in
   Fmt.pr "@.== %s ==@." name;
   Fmt.pr "%-8s %14s %14s %14s %14s %8s@." xlabel "time40(s)" "time50(s)"
     "cover40" "cover50" "empty%";
-  List.iter
-    (fun x ->
-      let p40 = run x 40 and p50 = run x 50 in
-      Fmt.pr "%-8d %14.3f %14.3f %14.1f %14.1f %8.0f@." x p40.runtime
-        p50.runtime p40.cover p50.cover
-        (50. *. (p40.empty_frac +. p50.empty_frac)))
-    points
+  let rows =
+    List.map
+      (fun x ->
+        let p40 = run x 40 and p50 = run x 50 in
+        Fmt.pr "%-8d %14.3f %14.3f %14.1f %14.1f %8.0f@." x p40.runtime
+          p50.runtime p40.cover p50.cover
+          (50. *. (p40.empty_frac +. p50.empty_frac));
+        (x, p40, p50))
+      points
+  in
+  json_figures := (key, xlabel, rows) :: !json_figures
+
+let write_json path =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "{\n  \"seeds\": %d,\n  \"figures\": {" !seeds;
+  List.iteri
+    (fun i (key, xlabel, rows) ->
+      pr "%s\n    \"%s\": {\n      \"xlabel\": \"%s\",\n      \"points\": ["
+        (if i = 0 then "" else ",")
+        key xlabel;
+      List.iteri
+        (fun j (x, p40, p50) ->
+          pr
+            "%s\n        {\"x\": %d, \"time40_s\": %.6f, \"time50_s\": %.6f, \
+             \"cover40\": %.1f, \"cover50\": %.1f, \"empty_pct\": %.1f}"
+            (if j = 0 then "" else ",")
+            x p40.runtime p50.runtime p40.cover p50.cover
+            (50. *. (p40.empty_frac +. p50.empty_frac)))
+        rows;
+      pr "\n      ]\n    }")
+    (List.rev !json_figures);
+  pr "\n  }\n}\n";
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
 
 let fig5 () =
-  figure
+  figure ~key:"fig5"
     ~name:"Figure 5: varying the number of source CFDs (|Y|=25, |F|=10, |Ec|=4)"
     ~xlabel:"|Sigma|"
     ~points:[ 200; 400; 600; 800; 1000; 1200; 1400; 1600; 1800; 2000 ]
     ~run:(fun n var_pct -> sweep_point ~sigma_n:n ~var_pct ~y:25 ~f:10 ~ec:4)
 
 let fig6 () =
-  figure
+  figure ~key:"fig6"
     ~name:"Figure 6: varying the projection attributes |Y| (|Sigma|=2000, |F|=10, |Ec|=4)"
     ~xlabel:"|Y|"
     ~points:[ 5; 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
     ~run:(fun y var_pct -> sweep_point ~sigma_n:2000 ~var_pct ~y ~f:10 ~ec:4)
 
 let fig7 () =
-  figure
+  figure ~key:"fig7"
     ~name:"Figure 7: varying the selection condition |F| (|Sigma|=2000, |Y|=25, |Ec|=4)"
     ~xlabel:"|F|"
     ~points:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
     ~run:(fun f var_pct -> sweep_point ~sigma_n:2000 ~var_pct ~y:25 ~f ~ec:4)
 
 let fig8 () =
-  figure
+  figure ~key:"fig8"
     ~name:"Figure 8: varying the product size |Ec| (|Sigma|=2000, |Y|=25, |F|=10)"
     ~xlabel:"|Ec|"
     ~points:[ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
@@ -374,7 +425,13 @@ let ablation_mincover_options () =
   run "skip initial MinCover"
     { P.Propcover.default_options with P.Propcover.skip_initial_mincover = true };
   run "partitioned pruning (k0=50)"
-    { P.Propcover.default_options with P.Propcover.prune_chunk = Some 50 }
+    { P.Propcover.default_options with P.Propcover.prune_chunk = Some 50 };
+  run "partitioned + domain pool"
+    {
+      P.Propcover.default_options with
+      P.Propcover.prune_chunk = Some 50;
+      P.Propcover.pool = !pool;
+    }
 
 (* The paper observed runtime exploding beyond |Y| ≈ 30 (Fig. 6a): the RBR
    working set blows up mid-elimination.  Our default greedy min-degree
@@ -425,6 +482,58 @@ let micro () =
     Bechamel.Test.make ~name:"propcover 50 CFDs"
       (Bechamel.Staged.stage (fun () -> ignore (P.Propcover.cover wview wsigma)))
   in
+  (* The two kernels this PR optimises: RBR attribute elimination and
+     leave-one-out implication in MinCover's prune loop. *)
+  let krng = Workload.Rng.make 4242 in
+  let kschema = Workload.Schema_gen.default krng in
+  let ksigma =
+    Workload.Cfd_gen.generate krng ~schema:kschema ~count:400 ~max_lhs:9
+      ~var_pct:40
+  in
+  let krel =
+    match ksigma with c :: _ -> c.C.rel | [] -> assert false
+  in
+  let ksigma_rel = List.filter (fun c -> c.C.rel = krel) ksigma in
+  let kattr =
+    (* The busiest attribute of the busiest relation: worst case for drop. *)
+    let tally = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun (a, _) ->
+            Hashtbl.replace tally a (1 + Option.value ~default:0 (Hashtbl.find_opt tally a)))
+          (c.C.rhs :: c.C.lhs))
+      ksigma_rel;
+    fst (Hashtbl.fold (fun a n ((_, bn) as best) -> if n > bn then (a, n) else best) tally ("", 0))
+  in
+  let test_drop_naive =
+    Bechamel.Test.make ~name:"rbr drop (naive pairing)"
+      (Bechamel.Staged.stage (fun () -> ignore (P.Rbr.drop ksigma_rel kattr)))
+  in
+  let test_drop_indexed =
+    Bechamel.Test.make ~name:"rbr drop (indexed)"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (P.Rbr.drop_indexed ksigma_rel kattr)))
+  in
+  let irel = Schema.find kschema krel in
+  let compiled = P.Fast_impl.compile irel ksigma_rel in
+  let kmask = P.Fast_impl.full_mask compiled in
+  let kphi = List.nth ksigma_rel 7 in
+  let ksigma_without_7 = List.filteri (fun i _ -> i <> 7) ksigma_rel in
+  let test_implies_recompile =
+    Bechamel.Test.make ~name:"leave-one-out implies (recompile)"
+      (Bechamel.Staged.stage (fun () ->
+           let c = P.Fast_impl.compile irel ksigma_without_7 in
+           ignore (P.Fast_impl.implies c kphi)))
+  in
+  let test_implies_masked =
+    Bechamel.Test.make ~name:"leave-one-out implies (masked)"
+      (Bechamel.Staged.stage (fun () ->
+           P.Fast_impl.mask_clear kmask 7;
+           let r = P.Fast_impl.implies ~mask:kmask compiled kphi in
+           P.Fast_impl.mask_set kmask 7;
+           ignore r))
+  in
   let benchmark test =
     let open Bechamel in
     let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -443,7 +552,11 @@ let micro () =
       results
   in
   benchmark test_implication;
-  benchmark test_cover
+  benchmark test_cover;
+  benchmark test_drop_naive;
+  benchmark test_drop_indexed;
+  benchmark test_implies_recompile;
+  benchmark test_implies_masked
 
 let ablation () =
   ablation_rbr_vs_closure ();
@@ -472,15 +585,31 @@ let run_one = function
 
 let () =
   Format.pp_set_margin Format.std_formatter 10_000;
+  let domains = ref 0 in
   let rec parse args acc =
     match args with
     | "--seeds" :: n :: rest ->
       seeds := int_of_string n;
+      parse rest acc
+    | "--points" :: n :: rest ->
+      max_points := Some (int_of_string n);
+      parse rest acc
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest acc
+    | "--domains" :: n :: rest ->
+      domains := int_of_string n;
       parse rest acc
     | x :: rest -> parse rest (x :: acc)
     | [] -> List.rev acc
   in
   let chosen = parse (List.tl (Array.to_list Sys.argv)) [] in
   let chosen = if chosen = [] then all else chosen in
-  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point@." !seeds;
-  List.iter run_one chosen
+  if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());
+  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point%s@." !seeds
+    (match !pool with
+     | Some p -> Printf.sprintf ", %d domains" (Parallel.Pool.size p)
+     | None -> "");
+  List.iter run_one chosen;
+  Option.iter write_json !json_path;
+  Option.iter Parallel.Pool.shutdown !pool

@@ -11,6 +11,8 @@
       procedures of Section 3 ([Propagate], [Emptiness]), CFD implication /
       consistency / minimal covers, and the [PropCFD_SPC] propagation-cover
       algorithm of Section 4 ([Propcover]).
+    - {!Parallel} — a fixed-size domain pool for the embarrassingly
+      parallel stages (partitioned pruning, bench seed repetitions).
     - {!Workload} — the deterministic generators of Section 5.
     - {!Reductions} — the 3SAT hardness gadget of Theorem 3.2.
     - {!Syntax} — a concrete syntax for schemas, CFDs and views. *)
@@ -19,6 +21,7 @@ module Relational = Relational
 module Cfds = Cfds
 module Chase = Chase
 module Propagation = Propagation
+module Parallel = Parallel
 module Workload = Workload
 module Reductions = Reductions
 module Syntax = Syntax

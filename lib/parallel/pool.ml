@@ -1,0 +1,105 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.has_work pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let size = match size with Some n -> max 1 n | None -> default_size () in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init size (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size t = t.size
+
+let shutdown t =
+  if t.workers <> [] then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let sequential_map f xs = List.map f xs
+
+let map ?pool f xs =
+  match pool with
+  | None -> sequential_map f xs
+  | Some p when p.size <= 1 || p.workers = [] -> sequential_map f xs
+  | Some p ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let remaining = Atomic.make n in
+      let done_mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let run i () =
+        let r = try Ok (f arr.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        (* The decrement happens-before the broadcast; a waiter holding
+           [done_mutex] either observes zero or is woken by it. *)
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_mutex;
+          Condition.broadcast all_done;
+          Mutex.unlock done_mutex
+        end
+      in
+      Mutex.lock p.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (run i) p.queue
+      done;
+      Condition.broadcast p.has_work;
+      Mutex.unlock p.mutex;
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+    end
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -11,6 +11,15 @@ type rule =
       lhs : (int * pat) array;
       rhs_pos : int;
       rhs : pat;
+      (* Applicability bitmasks over positions (0 when the schema is too
+         wide for an int bitmask — then the premise is always evaluated).
+         A cross-row instantiation needs every LHS position constrained
+         somehow ([pair_mask]); a single-row (t,t) instantiation passes
+         wildcards vacuously and only needs the Const positions bound
+         ([self_mask]).  Testing them against the chase's active-position
+         mask skips the premise scan for the vast majority of rules. *)
+      pair_mask : int;
+      self_mask : int;
     }
   | Attr_eq of int * int
 
@@ -18,6 +27,17 @@ type compiled = {
   schema : Schema.relation;
   arity : int;
   rules : rule array;
+  (* Semi-naive index: [watchers.(p)] lists the Standard rules whose premise
+     reads position [p]; only those can newly fire when a cell at [p]
+     changes. *)
+  watchers : int list array;
+  (* Rules that can fire on a pristine union-find (every cell its own class,
+     no constants): Attr_eq, empty-LHS rules, and all-wildcard-LHS rules
+     (their (t,t) premise is vacuously true).  Every other rule needs an
+     equality or constant some earlier change must have produced, so the
+     chase seeds its worklist from the caller's setup instead of a full pass
+     over the rule set. *)
+  autonomous : int list;
 }
 
 let compile_pat = function
@@ -27,33 +47,79 @@ let compile_pat = function
 
 let compile schema sigma =
   let pos a = Schema.attr_index schema a in
+  let maskable = Schema.arity schema <= Sys.int_size - 2 in
   let rule c =
     if C.is_attr_eq c then
       match c.C.lhs, c.C.rhs with
       | [ (a, _) ], (b, _) -> Attr_eq (pos a, pos b)
       | _ -> assert false
     else
+      let lhs =
+        Array.of_list (List.map (fun (a, p) -> (pos a, compile_pat p)) c.C.lhs)
+      in
+      let pair_mask, self_mask =
+        if not maskable then (0, 0)
+        else
+          Array.fold_left
+            (fun (pm, sm) (p, pat) ->
+              ( pm lor (1 lsl p),
+                match pat with Const _ -> sm lor (1 lsl p) | Wild -> sm ))
+            (0, 0) lhs
+      in
       Standard
         {
-          lhs =
-            Array.of_list
-              (List.map (fun (a, p) -> (pos a, compile_pat p)) c.C.lhs);
+          lhs;
           rhs_pos = pos (fst c.C.rhs);
           rhs = compile_pat (snd c.C.rhs);
+          pair_mask;
+          self_mask;
         }
   in
-  { schema; arity = Schema.arity schema; rules = Array.of_list (List.map rule sigma) }
+  let arity = Schema.arity schema in
+  let rules = Array.of_list (List.map rule sigma) in
+  let watchers = Array.make arity [] in
+  let autonomous = ref [] in
+  Array.iteri
+    (fun idx -> function
+      | Standard { lhs; _ } ->
+        Array.iter (fun (p, _) -> watchers.(p) <- idx :: watchers.(p)) lhs;
+        if Array.for_all (fun (_, pat) -> pat = Wild) lhs then
+          autonomous := idx :: !autonomous
+      | Attr_eq _ -> autonomous := idx :: !autonomous)
+    rules;
+  Array.iteri (fun p l -> watchers.(p) <- List.rev l) watchers;
+  { schema; arity; rules; watchers; autonomous = List.rev !autonomous }
+
+let num_rules compiled = Array.length compiled.rules
+
+(* Rule masks: a bitset over [rules] enabling leave-one-out pruning without
+   recompiling.  MinCover clears one rule per candidate instead of compiling
+   Σ∖{φ} from scratch. *)
+type mask = Bytes.t
+
+let full_mask compiled = Bytes.make (Array.length compiled.rules) '\001'
+let mask_clear m i = Bytes.set m i '\000'
+let mask_set m i = Bytes.set m i '\001'
+let mask_mem m i = Bytes.get m i <> '\000'
 
 (* Union-find over cells with optional constant binding at roots.  Failure
-   (two distinct constants) raises. *)
+   (two distinct constants) raises.  [members] lists the cells of each class
+   at its root — the semi-naive chase marks exactly the classes whose
+   observable state (equalities, constants) may have changed. *)
 exception Conflict
 
 type uf = {
   parent : int array;
   const : Value.t option array;
+  members : int list array;
 }
 
-let uf_create n = { parent = Array.init n (fun i -> i); const = Array.make n None }
+let uf_create n =
+  {
+    parent = Array.init n (fun i -> i);
+    const = Array.make n None;
+    members = Array.init n (fun i -> [ i ]);
+  }
 
 let rec find u i =
   let p = u.parent.(i) in
@@ -78,6 +144,8 @@ let union u i j =
      | None, Some v -> u.const.(keep) <- Some v
      | _ -> ());
     u.const.(drop) <- None;
+    u.members.(keep) <- List.rev_append u.members.(drop) u.members.(keep);
+    u.members.(drop) <- [];
     true
   end
 
@@ -100,50 +168,137 @@ let cells_equal u i j =
   | Some a, Some b -> Value.equal a b
   | _ -> false
 
-let chase compiled u rows =
+(* Semi-naive fixpoint: one full pass over the (unmasked) rules, then a
+   worklist of dirty positions re-applies only the rules watching them.
+   A position p is dirty when some class containing a cell at p changed
+   observably: a union of two const-free classes creates new cross-class
+   equalities only (cells at the same position on both sides — marking one
+   side's positions covers them; we mark both), while a class gaining a
+   constant can also newly satisfy Const premises anywhere in it, so the
+   whole merged class is marked.  A union of two classes already bound to
+   the same constant changes nothing observable ([cells_equal] and Const
+   checks were already true via the constants) and marks nothing. *)
+let chase ?mask compiled u rows =
+  let n = compiled.arity in
+  let enabled =
+    match mask with None -> fun _ -> true | Some m -> fun i -> mask_mem m i
+  in
+  let dirty = Array.make n false in
+  let queue = Queue.create () in
+  (* Bitmask of positions that carry any constraint (equality or constant).
+     A rule's premise cannot hold across rows unless all its LHS positions
+     are constrained, so [pair_mask]/[self_mask] against this is a one-AND
+     pre-filter.  Monotone: bits are only ever added.  When the schema is
+     too wide for an int the rule masks are 0 and the filter is a no-op. *)
+  let active = ref 0 in
+  let maskable = n <= Sys.int_size - 2 in
+  let mark_pos p =
+    if maskable then active := !active lor (1 lsl p);
+    if not dirty.(p) then begin
+      dirty.(p) <- true;
+      Queue.push p queue
+    end
+  in
+  let mark_class cell =
+    List.iter (fun c -> mark_pos (c mod n)) u.members.(find u cell)
+  in
+  let union_m i j =
+    let ri = find u i and rj = find u j in
+    if ri = rj then false
+    else begin
+      let both_const =
+        match u.const.(ri), u.const.(rj) with
+        | Some _, Some _ -> true
+        | _ -> false
+      in
+      let changed = union u i j in
+      if changed && not both_const then mark_class i;
+      changed
+    end
+  in
+  let bind_m i v =
+    let changed = bind u i v in
+    if changed then mark_class i;
+    changed
+  in
+  (* Allocation-free premise scan (no closure, no Array.for_all). *)
   let premise_holds row row' lhs =
-    Array.for_all
-      (fun (p, pat) ->
-        cells_equal u (row + p) (row' + p)
-        &&
+    let len = Array.length lhs in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < len do
+      let p, pat = lhs.(!k) in
+      if not (cells_equal u (row + p) (row' + p)) then ok := false
+      else begin
         match pat with
-        | Wild -> true
+        | Wild -> ()
         | Const v ->
           (match u.const.(find u (row + p)) with
-           | Some w -> Value.equal v w
-           | None -> false))
-      lhs
+           | Some w -> if not (Value.equal v w) then ok := false
+           | None -> ok := false)
+      end;
+      incr k
+    done;
+    !ok
   in
   let apply_rule rule changed =
     match rule with
     | Attr_eq (a, b) ->
-      List.fold_left (fun ch row -> union u (row + a) (row + b) || ch) changed rows
-    | Standard { lhs; rhs_pos; rhs } ->
-      let step row row' ch =
-        if premise_holds row row' lhs then
-          match rhs with
-          | Wild -> union u (row + rhs_pos) (row' + rhs_pos) || ch
-          | Const v ->
-            let c1 = bind u (row + rhs_pos) v in
-            let c2 = bind u (row' + rhs_pos) v in
-            c1 || c2 || ch
-        else ch
+      List.fold_left (fun ch row -> union_m (row + a) (row + b) || ch) changed rows
+    | Standard { lhs; rhs_pos; rhs; pair_mask; self_mask } ->
+      let act = !active in
+      let can_pair = pair_mask land act = pair_mask in
+      let can_self =
+        (match rhs with Const _ -> true | Wild -> false)
+        && self_mask land act = self_mask
       in
-      let rec pairs rs changed =
-        match rs with
-        | [] -> changed
-        | r :: rest ->
-          let changed = step r r changed in
-          let changed = List.fold_left (fun ch r' -> step r r' ch) changed rest in
-          pairs rest changed
-      in
-      pairs rows changed
+      if not (can_pair || can_self) then changed
+      else begin
+        let step row row' ch =
+          if premise_holds row row' lhs then
+            match rhs with
+            | Wild -> union_m (row + rhs_pos) (row' + rhs_pos) || ch
+            | Const v ->
+              let c1 = bind_m (row + rhs_pos) v in
+              let c2 = bind_m (row' + rhs_pos) v in
+              c1 || c2 || ch
+          else ch
+        in
+        let rec pairs rs changed =
+          match rs with
+          | [] -> changed
+          | r :: rest ->
+            let changed = if can_self then step r r changed else changed in
+            let changed =
+              if can_pair then
+                List.fold_left (fun ch r' -> step r r' ch) changed rest
+              else changed
+            in
+            pairs rest changed
+        in
+        pairs rows changed
+      end
   in
-  let rec loop () =
-    if Array.fold_left (fun ch rule -> apply_rule rule ch) false compiled.rules
-    then loop ()
-  in
-  loop ()
+  (* Seed the worklist: positions of every cell the caller's setup already
+     constrained (shared class or bound constant).  Members of nontrivial
+     classes all get scanned, so all their positions are marked. *)
+  Array.iteri
+    (fun c _ ->
+      let r = find u c in
+      if r <> c || u.const.(r) <> None then mark_pos (c mod n))
+    u.parent;
+  List.iter
+    (fun idx ->
+      if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
+    compiled.autonomous;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    dirty.(p) <- false;
+    List.iter
+      (fun idx ->
+        if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
+      compiled.watchers.(p)
+  done
 
 (* Safe RHS: the term respects the pattern binding in every realisation. *)
 let rhs_safe u cell = function
@@ -153,15 +308,15 @@ let rhs_safe u cell = function
      | Some w -> Value.equal v w
      | None -> false)
 
-let implies_attr_eq compiled a b =
+let implies_attr_eq ?mask compiled a b =
   let pos x = Schema.attr_index compiled.schema x in
   let u = uf_create compiled.arity in
   try
-    chase compiled u [ 0 ];
+    chase ?mask compiled u [ 0 ];
     cells_equal u (pos a) (pos b)
   with Conflict -> true
 
-let implies_standard compiled phi =
+let implies_standard ?mask compiled phi =
   let pos x = Schema.attr_index compiled.schema x in
   let n = compiled.arity in
   let rhs_pos = pos (fst phi.C.rhs) in
@@ -179,7 +334,7 @@ let implies_standard compiled phi =
             ignore (bind u (n + i) v)
           | Wild -> ignore (union u i (n + i)))
         phi.C.lhs;
-      chase compiled u [ 0; n ];
+      chase ?mask compiled u [ 0; n ];
       cells_equal u rhs_pos (n + rhs_pos) && rhs_safe u rhs_pos rhs
     with Conflict -> true
   in
@@ -197,15 +352,15 @@ let implies_standard compiled phi =
            | Const v -> ignore (bind u (pos a) v)
            | Wild -> ())
          phi.C.lhs;
-       chase compiled u [ 0 ];
+       chase ?mask compiled u [ 0 ];
        rhs_safe u rhs_pos rhs
      with Conflict -> true)
 
-let implies compiled phi =
+let implies ?mask compiled phi =
   C.is_trivial phi
   ||
   if C.is_attr_eq phi then
     match phi.C.lhs, phi.C.rhs with
-    | [ (a, _) ], (b, _) -> implies_attr_eq compiled a b
+    | [ (a, _) ], (b, _) -> implies_attr_eq ?mask compiled a b
     | _ -> assert false
-  else implies_standard compiled phi
+  else implies_standard ?mask compiled phi

@@ -6,16 +6,45 @@
     two-row + single-row chase (so it agrees with {!Propagate} on the
     identity view by construction — the test suite cross-validates this)
     over int-indexed union-find arrays, with the CFD set compiled to
-    positional form once. *)
+    positional form once.
+
+    The chase is {e semi-naive}: rules are indexed by the cell positions
+    their premises read, and the fixpoint is driven by a dirty-position
+    worklist instead of full passes over the rule set.  {e Rule masks}
+    (bitsets over the compiled rules) support leave-one-out implication
+    checks — [implies ~mask compiled phi] behaves exactly like recompiling
+    the unmasked subset, without the O(|Σ|) recompile. *)
 
 open Relational
 
 type compiled
 
 (** [compile schema sigma] resolves every CFD of [sigma] to attribute
-    positions of [schema].  Raises [Invalid_argument] on unknown
+    positions of [schema].  Rule [i] of the result corresponds to the [i]-th
+    element of [sigma] (for use with masks).  Raises on unknown
     attributes. *)
 val compile : Schema.relation -> Cfds.Cfd.t list -> compiled
 
-(** [implies compiled phi] decides [Σ |= φ] (infinite-domain setting). *)
-val implies : compiled -> Cfds.Cfd.t -> bool
+(** Number of compiled rules (= [List.length sigma]). *)
+val num_rules : compiled -> int
+
+(** A mutable bitset over the compiled rules.  Cleared rules are invisible
+    to [implies]. *)
+type mask
+
+(** A fresh mask with every rule enabled. *)
+val full_mask : compiled -> mask
+
+(** Disable rule [i]. *)
+val mask_clear : mask -> int -> unit
+
+(** Re-enable rule [i]. *)
+val mask_set : mask -> int -> unit
+
+(** Is rule [i] enabled? *)
+val mask_mem : mask -> int -> bool
+
+(** [implies ?mask compiled phi] decides [Σ' |= φ] where [Σ'] is the set of
+    mask-enabled rules ([Σ] itself when [mask] is omitted), in the
+    infinite-domain setting. *)
+val implies : ?mask:mask -> compiled -> Cfds.Cfd.t -> bool

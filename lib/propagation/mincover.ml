@@ -1,8 +1,7 @@
 open Relational
 module C = Cfds.Cfd
 
-let reduce_lhs schema compiled phi =
-  ignore schema;
+let reduce_lhs compiled phi =
   if C.is_attr_eq phi then phi
   else
     let rec go phi tried =
@@ -34,18 +33,23 @@ let minimal_cover schema sigma =
      against the original (equivalent) set stays correct, which lets us
      compile it once. *)
   let compiled = Fast_impl.compile schema sigma in
-  let sigma = List.map (fun phi -> reduce_lhs schema compiled phi) sigma in
+  let sigma = List.map (fun phi -> reduce_lhs compiled phi) sigma in
   let sigma = List.sort_uniq C.compare sigma in
-  (* Drop CFDs implied by the others. *)
-  let rec prune kept = function
-    | [] -> List.rev kept
-    | phi :: rest ->
-      let others = List.rev_append kept rest in
-      if Fast_impl.implies (Fast_impl.compile schema others) phi then
-        prune kept rest
-      else prune (phi :: kept) rest
-  in
-  prune [] sigma
+  (* Drop CFDs implied by the others.  One compile of the reduced set (rule
+     i ↔ element i), then leave-one-out via the rule mask: clearing a bit is
+     equivalent to recompiling Σ ∖ {φ} — rules already found redundant stay
+     cleared, exactly like the old [kept @ rest] recompile. *)
+  let arr = Array.of_list sigma in
+  let compiled = Fast_impl.compile schema sigma in
+  let mask = Fast_impl.full_mask compiled in
+  let redundant = Array.make (Array.length arr) false in
+  Array.iteri
+    (fun i phi ->
+      Fast_impl.mask_clear mask i;
+      if Fast_impl.implies ~mask compiled phi then redundant.(i) <- true
+      else Fast_impl.mask_set mask i)
+    arr;
+  List.filteri (fun i _ -> not redundant.(i)) sigma
 
 let minimal_cover_db db sigma =
   let groups = Hashtbl.create 8 in
@@ -60,7 +64,7 @@ let minimal_cover_db db sigma =
          | Some g -> minimal_cover rel (List.rev g)
          | None -> [])
 
-let prune_partitioned schema ~chunk sigma =
+let prune_partitioned ?pool schema ~chunk sigma =
   if chunk <= 0 then invalid_arg "Mincover.prune_partitioned: chunk <= 0";
   let rec split acc current n = function
     | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
@@ -69,4 +73,6 @@ let prune_partitioned schema ~chunk sigma =
       else split acc (c :: current) (n + 1) rest
   in
   let chunks = split [] [] 0 sigma in
-  List.concat_map (minimal_cover schema) chunks
+  (* Chunks are independent; [Parallel.Pool.map] preserves their order, so
+     the output is identical to the sequential run. *)
+  List.concat (Parallel.Pool.map ?pool (minimal_cover schema) chunks)

@@ -7,6 +7,7 @@ type options = {
   max_intermediate : int option;
   skip_initial_mincover : bool;
   rbr_order : [ `Min_degree | `Given ];
+  pool : Parallel.Pool.t option;
 }
 
 (* The paper's own implementation partitions the working set and minimises
@@ -17,6 +18,7 @@ let default_options =
     max_intermediate = None;
     skip_initial_mincover = false;
     rbr_order = `Min_degree;
+    pool = None;
   }
 
 type result = {
@@ -142,7 +144,7 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
       Option.map (fun chunk -> (pseudo_schema, chunk)) options.prune_chunk
     in
     let sigma_c, completeness =
-      Rbr.reduce ?prune ?max_size:options.max_intermediate
+      Rbr.reduce ?prune ?pool:options.pool ?max_size:options.max_intermediate
         ~order:options.rbr_order sigma_v ~drop_attrs
     in
     (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)

@@ -22,6 +22,9 @@ type options = {
       (** skip line 1 of Fig. 2 (for ablation) *)
   rbr_order : [ `Min_degree | `Given ];
       (** RBR elimination order; see {!Rbr.reduce} (for ablation) *)
+  pool : Parallel.Pool.t option;
+      (** domain pool for the partitioned pruning inside RBR; [None] (the
+          default) keeps everything on the calling domain *)
 }
 
 val default_options : options

@@ -1,7 +1,13 @@
 module C = Cfds.Cfd
 module P = Cfds.Pattern
+module I = Cfds.Interner
 
 let mentions a cfd = List.mem a (C.attrs cfd)
+
+(* ---------------------------------------------------------------------- *)
+(* Reference implementation (strings + assoc lists).  Kept as the oracle   *)
+(* for the differential property tests; [reduce] runs the indexed engine   *)
+(* below.                                                                  *)
 
 let resolvent phi1 phi2 ~on:a =
   if C.is_attr_eq phi1 || C.is_attr_eq phi2 then None
@@ -47,65 +53,294 @@ let drop sigma a =
   let canon = List.map C.canonical (keep @ resolvents) in
   List.sort_uniq C.compare canon
 
-let reduce ?prune ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
+(* ---------------------------------------------------------------------- *)
+(* Interned CFDs: attribute names resolved to dense ids, LHS rows as       *)
+(* id-sorted arrays.  Pattern merges become linear array merges instead of *)
+(* [List.assoc_opt] + [List.remove_assoc] per attribute.                   *)
+
+type icfd = {
+  irel : string;
+  ilhs : (int * P.sym) array; (* sorted by attribute id, ids distinct *)
+  irhs : int * P.sym;
+}
+
+let to_icfd interner (c : C.t) =
+  let arr =
+    Array.of_list (List.map (fun (a, p) -> (I.intern interner a, p)) c.C.lhs)
+  in
+  Array.sort (fun (i, _) (j, _) -> Int.compare i j) arr;
+  {
+    irel = c.C.rel;
+    ilhs = arr;
+    irhs = (I.intern interner (fst c.C.rhs), snd c.C.rhs);
+  }
+
+let of_icfd interner ic =
+  C.canonical
+    (C.make ic.irel
+       (Array.to_list
+          (Array.map (fun (i, p) -> (I.name interner i, p)) ic.ilhs))
+       (I.name interner (fst ic.irhs), snd ic.irhs))
+
+let ic_lhs_pattern ic a =
+  let arr = ic.ilhs in
+  let rec bs lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let i, p = arr.(mid) in
+      if i = a then Some p else if i < a then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 (Array.length arr)
+
+let ic_is_attr_eq ic =
+  match ic.ilhs, ic.irhs with
+  | [| (_, P.Svar) |], (_, P.Svar) -> true
+  | _ -> false
+
+let ic_is_trivial ic =
+  if ic_is_attr_eq ic then fst ic.ilhs.(0) = fst ic.irhs
+  else
+    let a, eta2 = ic.irhs in
+    match ic_lhs_pattern ic a with
+    | None -> false
+    | Some eta1 ->
+      P.equal eta1 eta2 || (P.is_const eta1 && P.equal eta2 P.Wild)
+
+exception Undefined
+
+(* Merge two id-sorted LHS rows, meeting patterns on shared attributes and
+   skipping the eliminated attribute in [z].  Raises [Undefined] on an empty
+   meet. *)
+let ic_merge_lhs w z ~skip =
+  let nw = Array.length w and nz = Array.length z in
+  let out = Array.make (nw + nz) (0, P.Wild) in
+  let k = ref 0 in
+  let push e =
+    out.(!k) <- e;
+    incr k
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < nw || !j < nz do
+    if !j < nz && fst z.(!j) = skip then incr j
+    else if !i >= nw then begin
+      push z.(!j);
+      incr j
+    end
+    else if !j >= nz then begin
+      push w.(!i);
+      incr i
+    end
+    else begin
+      let ai, pi = w.(!i) and aj, pj = z.(!j) in
+      if ai < aj then begin
+        push w.(!i);
+        incr i
+      end
+      else if aj < ai then begin
+        push z.(!j);
+        incr j
+      end
+      else begin
+        (match P.meet pi pj with
+         | Some m -> push (ai, m)
+         | None -> raise Undefined);
+        incr i;
+        incr j
+      end
+    end
+  done;
+  Array.sub out 0 !k
+
+let ic_resolvent phi1 phi2 ~on:a =
+  if ic_is_attr_eq phi1 || ic_is_attr_eq phi2 then None
+  else if fst phi1.irhs <> a then None
+  else
+    match ic_lhs_pattern phi2 a with
+    | None -> None
+    | Some t2_a ->
+      if not (P.leq (snd phi1.irhs) t2_a) then None
+      else if ic_lhs_pattern phi1 a <> None then None
+      else if fst phi2.irhs = a then None
+      else (
+        try
+          let merged = ic_merge_lhs phi1.ilhs phi2.ilhs ~skip:a in
+          let ic = { irel = phi1.irel; ilhs = merged; irhs = phi2.irhs } in
+          if ic_is_trivial ic then None else Some ic
+        with Undefined -> None)
+
+(* ---------------------------------------------------------------------- *)
+(* The indexed engine.  The working set is bucketed by RHS attribute and   *)
+(* by LHS membership, so [drop a] pairs only {φ₁ : rhs(φ₁)=a} with         *)
+(* {φ₂ : a ∈ lhs(φ₂)} instead of all-pairs over the involved set, and the  *)
+(* buckets (plus per-attribute degrees for the min-degree order) survive   *)
+(* across elimination steps.                                               *)
+
+module Engine = struct
+  type node = { nid : int; ic : icfd }
+
+  type t = {
+    interner : I.t;
+    mutable by_rhs : (int, node) Hashtbl.t array; (* rhs id -> nodes by nid *)
+    mutable by_lhs : (int, node) Hashtbl.t array; (* lhs id -> nodes by nid *)
+    mutable degree : int array; (* live nodes mentioning the attribute *)
+    live : (icfd, node) Hashtbl.t;
+    mutable next_nid : int;
+  }
+
+  let ensure_capacity eng n =
+    let cap = Array.length eng.degree in
+    if n > cap then begin
+      let cap' = max n (max 16 (2 * cap)) in
+      let grow tbls =
+        Array.init cap' (fun i ->
+            if i < Array.length tbls then tbls.(i) else Hashtbl.create 4)
+      in
+      eng.by_rhs <- grow eng.by_rhs;
+      eng.by_lhs <- grow eng.by_lhs;
+      let d = Array.make cap' 0 in
+      Array.blit eng.degree 0 d 0 cap;
+      eng.degree <- d
+    end
+
+  (* Iterate the distinct attributes of [ic] (the RHS attribute may repeat
+     an LHS attribute, e.g. in (A -> A, (_ ‖ a))). *)
+  let ic_attrs_iter ic f =
+    let r = fst ic.irhs in
+    let seen_r = ref false in
+    Array.iter
+      (fun (i, _) ->
+        if i = r then seen_r := true;
+        f i)
+      ic.ilhs;
+    if not !seen_r then f r
+
+  let add eng ic =
+    if not (Hashtbl.mem eng.live ic) then begin
+      ensure_capacity eng (I.size eng.interner);
+      let n = { nid = eng.next_nid; ic } in
+      eng.next_nid <- eng.next_nid + 1;
+      Hashtbl.replace eng.live ic n;
+      Hashtbl.replace eng.by_rhs.(fst ic.irhs) n.nid n;
+      Array.iter (fun (a, _) -> Hashtbl.replace eng.by_lhs.(a) n.nid n) ic.ilhs;
+      ic_attrs_iter ic (fun a -> eng.degree.(a) <- eng.degree.(a) + 1)
+    end
+
+  let remove eng (n : node) =
+    Hashtbl.remove eng.live n.ic;
+    Hashtbl.remove eng.by_rhs.(fst n.ic.irhs) n.nid;
+    Array.iter (fun (a, _) -> Hashtbl.remove eng.by_lhs.(a) n.nid) n.ic.ilhs;
+    ic_attrs_iter n.ic (fun a -> eng.degree.(a) <- eng.degree.(a) - 1)
+
+  let build interner sigma =
+    let eng =
+      {
+        interner;
+        by_rhs = [||];
+        by_lhs = [||];
+        degree = [||];
+        live = Hashtbl.create 256;
+        next_nid = 0;
+      }
+    in
+    List.iter (fun c -> add eng (to_icfd interner c)) sigma;
+    eng
+
+  let size eng = Hashtbl.length eng.live
+
+  let degree eng a = if a < Array.length eng.degree then eng.degree.(a) else 0
+
+  (* Drop attribute [a]: resolve producers {rhs = a} against consumers
+     {a ∈ lhs}, then replace every node mentioning [a] by the resolvents.
+     Buckets and degrees are patched in place. *)
+  let drop_attr eng a =
+    if a < Array.length eng.degree && eng.degree.(a) > 0 then begin
+      let nodes tbl = Hashtbl.fold (fun _ n acc -> n :: acc) tbl [] in
+      let producers = nodes eng.by_rhs.(a) in
+      let consumers = nodes eng.by_lhs.(a) in
+      let resolvents =
+        List.concat_map
+          (fun (p : node) ->
+            List.filter_map
+              (fun (c : node) -> ic_resolvent p.ic c.ic ~on:a)
+              consumers)
+          producers
+      in
+      let involved = Hashtbl.create 16 in
+      List.iter (fun (n : node) -> Hashtbl.replace involved n.nid n) producers;
+      List.iter (fun (n : node) -> Hashtbl.replace involved n.nid n) consumers;
+      Hashtbl.iter (fun _ n -> remove eng n) involved;
+      List.iter (fun ic -> add eng ic) resolvents
+    end
+
+  let extract eng =
+    Hashtbl.fold (fun ic _ acc -> of_icfd eng.interner ic :: acc) eng.live []
+    |> List.sort_uniq C.compare
+end
+
+let drop_indexed sigma a =
+  let interner = I.create () in
+  let eng = Engine.build interner sigma in
+  Engine.drop_attr eng (I.intern interner a);
+  Engine.extract eng
+
+let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
   (* Constant-RHS CFDs shed their wildcard LHS attributes first: otherwise a
      projected-away wildcard attribute would drag an equivalent, still
      propagated CFD out of the cover. *)
   let sigma = List.map C.strip_redundant_wildcards sigma in
+  let interner = I.create () in
+  let drop_ids = List.map (I.intern interner) drop_attrs in
+  let eng = ref (Engine.build interner sigma) in
   (* Adaptive pruning: resolution only hurts when the working set grows, so
      the (linear, but not free) partitioned MinCover runs only once the set
-     has doubled since the last prune. *)
+     has doubled since the last prune.  The engine is rebuilt from the pruned
+     set; between prunes the buckets evolve incrementally. *)
   let last_pruned = ref (max 256 (List.length sigma)) in
-  let prune_set s =
+  let prune_set () =
     match prune with
-    | Some (schema, chunk) when List.length s > 2 * !last_pruned ->
-      let s = Mincover.prune_partitioned schema ~chunk s in
+    | Some (schema, chunk) when Engine.size !eng > 2 * !last_pruned ->
+      let s = Mincover.prune_partitioned ?pool schema ~chunk (Engine.extract !eng) in
       last_pruned := max 256 (List.length s);
-      s
-    | Some _ | None -> s
+      eng := Engine.build interner s
+    | Some _ | None -> ()
   in
   (* Greedy min-degree elimination order: dropping the attribute with the
      fewest involved CFDs first keeps the intermediate working set small —
-     the result is a cover whatever the order (Proposition 4.4). *)
-  let pick_next sigma remaining =
+     the result is a cover whatever the order (Proposition 4.4).  Degrees
+     are maintained incrementally by the engine; ties go to the earliest
+     attribute in [remaining], as before. *)
+  let pick_next remaining =
     match order, remaining with
     | `Given, a :: _ -> Some a
-    | `Given, [] -> None
+    | _, [] -> None
     | `Min_degree, _ ->
-    let counts = Hashtbl.create 16 in
-    List.iter
-      (fun c ->
-        List.iter
-          (fun a ->
-            if Hashtbl.mem counts a || List.mem a remaining then
-              Hashtbl.replace counts a
-                (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
-          (C.attrs c))
-      sigma;
-    let degree a = Option.value ~default:0 (Hashtbl.find_opt counts a) in
-    List.fold_left
-      (fun best a ->
-        match best with
-        | None -> Some a
-        | Some b -> if degree a < degree b then Some a else best)
-      None remaining
+      List.fold_left
+        (fun best a ->
+          match best with
+          | None -> Some a
+          | Some b ->
+            if Engine.degree !eng a < Engine.degree !eng b then Some a else best)
+        None remaining
   in
-  let rec go sigma remaining =
-    match pick_next sigma remaining with
-    | None -> (sigma, `Complete)
+  let rec go remaining =
+    match pick_next remaining with
+    | None -> (Engine.extract !eng, `Complete)
     | Some a ->
-      let rest = List.filter (fun b -> not (String.equal a b)) remaining in
-      let sigma = prune_set (drop sigma a) in
+      let rest = List.filter (fun b -> b <> a) remaining in
+      Engine.drop_attr !eng a;
+      prune_set ();
       (match max_size with
-       | Some bound when List.length sigma > bound ->
+       | Some bound when Engine.size !eng > bound ->
          (* Heuristic cut-off: return the sound subset already free of the
             attributes still to be dropped. *)
+         let rest_names = List.map (I.name interner) rest in
          let clean =
            List.filter
-             (fun c -> not (List.exists (fun b -> mentions b c) rest))
-             sigma
+             (fun c -> not (List.exists (fun b -> mentions b c) rest_names))
+             (Engine.extract !eng)
          in
          (clean, `Truncated)
-       | _ -> go sigma rest)
+       | _ -> go rest)
   in
-  go sigma drop_attrs
+  go drop_ids

@@ -2,7 +2,17 @@
     (Gottlob, PODS'87) to CFDs: computing a cover of the CFDs propagated
     through a projection by repeatedly "dropping" the non-projected
     attributes, shortcutting every CFD that mentions them with
-    A-resolvents. *)
+    A-resolvents.
+
+    Two implementations coexist.  The reference one ([resolvent], [drop])
+    works over the string-keyed {!Cfds.Cfd.t} representation and resolves
+    all pairs of the involved set.  The engine driving [reduce] interns
+    attribute names ({!Cfds.Interner}), keeps LHS rows as id-sorted arrays,
+    and buckets the working set by RHS attribute and by LHS membership so
+    [drop a] pairs only {i producers} (rhs = a) with {i consumers}
+    (a ∈ lhs); buckets and per-attribute degrees are maintained
+    incrementally across elimination steps.  The property-test suite checks
+    the two agree on generated workloads. *)
 
 open Relational
 
@@ -16,13 +26,21 @@ val resolvent :
   Cfds.Cfd.t -> Cfds.Cfd.t -> on:string -> Cfds.Cfd.t option
 
 (** [drop sigma a] is [Drop(Σ, A) = Res(Σ, A) ∪ Σ\[U − {A}\]]: all
-    nontrivial A-resolvents plus the CFDs that do not mention [a]. *)
+    nontrivial A-resolvents plus the CFDs that do not mention [a].
+    Reference implementation: all-pairs resolution over the involved set. *)
 val drop : Cfds.Cfd.t list -> string -> Cfds.Cfd.t list
+
+(** [drop_indexed sigma a] computes the same set as {!drop} through the
+    indexed engine (bucketed producers × consumers).  One-shot wrapper used
+    by the differential tests and micro-benchmarks; [reduce] keeps the
+    engine alive across all elimination steps instead. *)
+val drop_indexed : Cfds.Cfd.t list -> string -> Cfds.Cfd.t list
 
 (** [reduce ?prune sigma ~drop_attrs] is [RBR(Σ, drop_attrs)]: drop each
     attribute in turn.  [prune] optionally bounds intermediate growth with
     the partitioned-MinCover optimisation of Section 4.3 (the pseudo
-    relation schema and chunk size).
+    relation schema and chunk size); [pool] parallelises that pruning over
+    a domain pool (chunks are independent).
 
     [max_size], when given, turns the procedure into the paper's
     {e heuristic}: if the working set exceeds the bound, the computation
@@ -36,6 +54,7 @@ val drop : Cfds.Cfd.t list -> string -> Cfds.Cfd.t list
     drop-order ablation.  Either order yields a cover (Proposition 4.4). *)
 val reduce :
   ?prune:Schema.relation * int ->
+  ?pool:Parallel.Pool.t ->
   ?max_size:int ->
   ?order:[ `Min_degree | `Given ] ->
   Cfds.Cfd.t list ->

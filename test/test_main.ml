@@ -24,4 +24,5 @@ let () =
       ("workload", Test_workload.suite);
       ("syntax", Test_syntax.suite);
       ("properties", Test_properties.suite);
+      ("engine", Test_engine.suite);
     ]
