@@ -28,10 +28,20 @@ let seeds = ref 3
 
 (* --points N truncates every figure sweep to its first N x-values (CI
    smoke runs); --json PATH dumps figure results machine-readably;
-   --domains N runs the per-point seed repetitions on a domain pool. *)
+   --domains N runs the per-point seed repetitions on a domain pool;
+   --stats enables the engine's observability sink and prints a per-figure
+   counter/span table (per-point stats are embedded in --json output);
+   --stats-json PATH additionally dumps the aggregated stats as JSON. *)
 let max_points = ref None
 let json_path = ref None
 let pool = ref None
+let stats_on = ref false
+let stats_json_path = ref None
+
+(* Aggregated observability: per-figure totals plus a grand total, built
+   from the per-point snapshots ([Obs.reset] runs before every point). *)
+let figure_stats : (string * Obs.snapshot) list ref = ref []
+let grand_stats = ref Obs.empty_snapshot
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -74,8 +84,11 @@ let sweep_point ~sigma_n ~var_pct ~y ~f ~ec =
     empty_frac = mean (List.map (fun (_, _, e) -> if e then 1. else 0.) runs);
   }
 
-(* Figure rows captured for --json output: (key, xlabel, rows). *)
-let json_figures : (string * string * (int * point * point) list) list ref =
+(* Figure rows captured for --json output: (key, xlabel, rows); each row
+   carries the point's observability snapshot when --stats is on. *)
+let json_figures :
+    (string * string * (int * point * point * Obs.snapshot option) list) list
+    ref =
   ref []
 
 let rec take n = function
@@ -92,13 +105,36 @@ let figure ~key ~name ~xlabel ~points ~run =
   let rows =
     List.map
       (fun x ->
+        if !stats_on then Obs.reset ();
         let p40 = run x 40 and p50 = run x 50 in
+        let stats =
+          if !stats_on then begin
+            let s = Obs.snapshot () in
+            (* Zero the sink so the residual snapshot folded into the
+               grand total at dump time never re-counts this point. *)
+            Obs.reset ();
+            Some s
+          end
+          else None
+        in
         Fmt.pr "%-8d %14.3f %14.3f %14.1f %14.1f %8.0f@." x p40.runtime
           p50.runtime p40.cover p50.cover
           (50. *. (p40.empty_frac +. p50.empty_frac));
-        (x, p40, p50))
+        (x, p40, p50, stats))
       points
   in
+  if !stats_on then begin
+    let total =
+      List.fold_left
+        (fun acc (_, _, _, s) ->
+          match s with Some s -> Obs.merge acc s | None -> acc)
+        Obs.empty_snapshot rows
+    in
+    figure_stats := (key, total) :: !figure_stats;
+    grand_stats := Obs.merge !grand_stats total;
+    Fmt.pr "@.-- %s observability (all points, both var%% settings) --@.%a" key
+      Obs.pp total
+  end;
   json_figures := (key, xlabel, rows) :: !json_figures
 
 let write_json path =
@@ -111,19 +147,39 @@ let write_json path =
         (if i = 0 then "" else ",")
         key xlabel;
       List.iteri
-        (fun j (x, p40, p50) ->
+        (fun j (x, p40, p50, stats) ->
           pr
             "%s\n        {\"x\": %d, \"time40_s\": %.6f, \"time50_s\": %.6f, \
-             \"cover40\": %.1f, \"cover50\": %.1f, \"empty_pct\": %.1f}"
+             \"cover40\": %.1f, \"cover50\": %.1f, \"empty_pct\": %.1f%s}"
             (if j = 0 then "" else ",")
             x p40.runtime p50.runtime p40.cover p50.cover
-            (50. *. (p40.empty_frac +. p50.empty_frac)))
+            (50. *. (p40.empty_frac +. p50.empty_frac))
+            (match stats with
+             | Some s -> Printf.sprintf ", \"stats\": %s" (Obs.to_json s)
+             | None -> ""))
         rows;
       pr "\n      ]\n    }")
     (List.rev !json_figures);
   pr "\n  }\n}\n";
   close_out oc;
   Fmt.pr "@.wrote %s@." path
+
+(* Aggregated observability dump: the grand total (figure points plus any
+   residual observations from tables/ablations) and per-figure totals. *)
+let write_stats_json path =
+  grand_stats := Obs.merge !grand_stats (Obs.snapshot ());
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"total\": %s,\n  \"figures\": {"
+    (Obs.to_json !grand_stats);
+  List.iteri
+    (fun i (key, s) ->
+      Printf.fprintf oc "%s\n    \"%s\": %s"
+        (if i = 0 then "" else ",")
+        key (Obs.to_json s))
+    (List.rev !figure_stats);
+  Printf.fprintf oc "\n  }\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let fig5 () =
   figure ~key:"fig5"
@@ -600,16 +656,26 @@ let () =
     | "--domains" :: n :: rest ->
       domains := int_of_string n;
       parse rest acc
+    | "--stats" :: rest ->
+      stats_on := true;
+      parse rest acc
+    | "--stats-json" :: path :: rest ->
+      stats_on := true;
+      stats_json_path := Some path;
+      parse rest acc
     | x :: rest -> parse rest (x :: acc)
     | [] -> List.rev acc
   in
   let chosen = parse (List.tl (Array.to_list Sys.argv)) [] in
   let chosen = if chosen = [] then all else chosen in
   if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());
-  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point%s@." !seeds
+  if !stats_on then Obs.set_enabled true;
+  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point%s%s@." !seeds
     (match !pool with
      | Some p -> Printf.sprintf ", %d domains" (Parallel.Pool.size p)
-     | None -> "");
+     | None -> "")
+    (if !stats_on then ", stats on" else "");
   List.iter run_one chosen;
   Option.iter write_json !json_path;
+  Option.iter write_stats_json !stats_json_path;
   Option.iter Parallel.Pool.shutdown !pool

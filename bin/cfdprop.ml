@@ -76,7 +76,7 @@ let validate path =
     rows;
   0
 
-let cover path view_name chunk bound =
+let cover path view_name chunk bound stats stats_json =
   let doc = load path in
   warn_finite doc;
   let view = find_view doc view_name in
@@ -88,6 +88,7 @@ let cover path view_name chunk bound =
       max_intermediate = bound;
     }
   in
+  if stats || stats_json <> None then Obs.set_enabled true;
   let r = Propagation.Propcover.cover ~options view sigma in
   if r.Propagation.Propcover.always_empty then
     Fmt.pr "# the view is empty on every source satisfying the CFDs@.";
@@ -98,6 +99,19 @@ let cover path view_name chunk bound =
     r.Propagation.Propcover.cover;
   Fmt.pr "# %d CFD(s) in the minimal propagation cover@."
     (List.length r.Propagation.Propcover.cover);
+  if Obs.enabled () then begin
+    let s = Obs.snapshot () in
+    (* The cover itself goes to stdout; the engine stats are diagnostics. *)
+    if stats then Fmt.epr "%a" Obs.pp s;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Obs.to_json s);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "# wrote engine stats to %s@." path)
+      stats_json
+  end;
   0
 
 let parse_view_cfd (doc : Parser.document) text =
@@ -255,10 +269,25 @@ let cover_cmd =
       & info [ "max-intermediate" ]
           ~doc:"Heuristic bound on the RBR working set (truncates the cover).")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Record engine counters and per-phase timing spans during the \
+             cover computation and print them to stderr.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH"
+          ~doc:"Write the recorded engine stats to $(docv) as JSON.")
+  in
   Cmd.v
     (Cmd.info "cover"
        ~doc:"Compute the minimal propagation cover of the source CFDs through a view.")
-    Term.(const cover $ path_arg $ view_arg $ chunk $ bound)
+    Term.(const cover $ path_arg $ view_arg $ chunk $ bound $ stats $ stats_json)
 
 let check_cmd =
   let cfd_arg =

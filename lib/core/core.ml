@@ -13,6 +13,9 @@
       algorithm of Section 4 ([Propcover]).
     - {!Parallel} — a fixed-size domain pool for the embarrassingly
       parallel stages (partitioned pruning, bench seed repetitions).
+    - {!Obs} — engine observability: counters and timing spans threaded
+      through every propagation phase, off by default, exported as text
+      or JSON ([--stats] / [--stats-json] in the CLI and bench harness).
     - {!Workload} — the deterministic generators of Section 5.
     - {!Reductions} — the 3SAT hardness gadget of Theorem 3.2.
     - {!Syntax} — a concrete syntax for schemas, CFDs and views. *)
@@ -22,6 +25,7 @@ module Cfds = Cfds
 module Chase = Chase
 module Propagation = Propagation
 module Parallel = Parallel
+module Obs = Obs
 module Workload = Workload
 module Reductions = Reductions
 module Syntax = Syntax

@@ -1,0 +1,267 @@
+type counter = int
+type span = int
+
+(* --- metric registries -------------------------------------------------- *)
+
+(* Registration is rare (module initialisation); lookups on the hot path
+   carry the dense id only.  One mutex guards both registries. *)
+type registry = {
+  mutable names : string array;
+  mutable n : int;
+  index : (string, int) Hashtbl.t;
+}
+
+let reg_mutex = Mutex.create ()
+let counters_reg = { names = [||]; n = 0; index = Hashtbl.create 64 }
+let spans_reg = { names = [||]; n = 0; index = Hashtbl.create 64 }
+
+let register reg name =
+  Mutex.lock reg_mutex;
+  let id =
+    match Hashtbl.find_opt reg.index name with
+    | Some id -> id
+    | None ->
+      let id = reg.n in
+      if id >= Array.length reg.names then begin
+        let a = Array.make (max 16 (2 * Array.length reg.names)) "" in
+        Array.blit reg.names 0 a 0 reg.n;
+        reg.names <- a
+      end;
+      reg.names.(id) <- name;
+      reg.n <- id + 1;
+      Hashtbl.replace reg.index name id;
+      id
+  in
+  Mutex.unlock reg_mutex;
+  id
+
+let registered_names reg =
+  Mutex.lock reg_mutex;
+  let a = Array.sub reg.names 0 reg.n in
+  Mutex.unlock reg_mutex;
+  a
+
+let counter name = register counters_reg name
+let span name = register spans_reg name
+
+(* --- sink --------------------------------------------------------------- *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Global accumulators, guarded by [sink_mutex]; indexed by metric id. *)
+let sink_mutex = Mutex.create ()
+let g_counts = ref [||]
+let g_hits = ref [||]
+let g_secs = ref [||]
+
+let grow_int a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (max 16 (2 * Array.length a))) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_float a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (max 16 (2 * Array.length a))) 0. in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* Domain-local buffer: unsynchronised writes, merged at flush points. *)
+type buf = {
+  mutable counts : int array;
+  mutable hits : int array;
+  mutable secs : float array;
+  mutable dirty : bool;
+}
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      { counts = [||]; hits = [||]; secs = [||]; dirty = false })
+
+let add c n =
+  if n <> 0 && Atomic.get enabled_flag then begin
+    let b = Domain.DLS.get buf_key in
+    if Array.length b.counts <= c then b.counts <- grow_int b.counts (c + 1);
+    b.counts.(c) <- b.counts.(c) + n;
+    b.dirty <- true
+  end
+
+let incr c = add c 1
+
+let record_span s dt =
+  if Atomic.get enabled_flag then begin
+    let b = Domain.DLS.get buf_key in
+    if Array.length b.hits <= s then begin
+      b.hits <- grow_int b.hits (s + 1);
+      b.secs <- grow_float b.secs (s + 1)
+    end;
+    b.hits.(s) <- b.hits.(s) + 1;
+    b.secs.(s) <- b.secs.(s) +. dt;
+    b.dirty <- true
+  end
+
+let now () = Unix.gettimeofday ()
+
+let with_span s f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record_span s (now () -. t0)) f
+  end
+
+let flush_domain () =
+  let b = Domain.DLS.get buf_key in
+  if b.dirty then begin
+    Mutex.lock sink_mutex;
+    let nc = Array.length b.counts and ns = Array.length b.hits in
+    g_counts := grow_int !g_counts nc;
+    g_hits := grow_int !g_hits ns;
+    g_secs := grow_float !g_secs ns;
+    for i = 0 to nc - 1 do
+      !g_counts.(i) <- !g_counts.(i) + b.counts.(i)
+    done;
+    for i = 0 to ns - 1 do
+      !g_hits.(i) <- !g_hits.(i) + b.hits.(i);
+      !g_secs.(i) <- !g_secs.(i) +. b.secs.(i)
+    done;
+    Mutex.unlock sink_mutex;
+    Array.fill b.counts 0 nc 0;
+    Array.fill b.hits 0 ns 0;
+    Array.fill b.secs 0 ns 0.;
+    b.dirty <- false
+  end
+
+let reset () =
+  let b = Domain.DLS.get buf_key in
+  Array.fill b.counts 0 (Array.length b.counts) 0;
+  Array.fill b.hits 0 (Array.length b.hits) 0;
+  Array.fill b.secs 0 (Array.length b.secs) 0.;
+  b.dirty <- false;
+  Mutex.lock sink_mutex;
+  Array.fill !g_counts 0 (Array.length !g_counts) 0;
+  Array.fill !g_hits 0 (Array.length !g_hits) 0;
+  Array.fill !g_secs 0 (Array.length !g_secs) 0.;
+  Mutex.unlock sink_mutex
+
+let set_enabled on =
+  if on then begin
+    reset ();
+    Atomic.set enabled_flag true
+  end
+  else Atomic.set enabled_flag false
+
+(* --- snapshots and export ----------------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * (int * float)) list;
+}
+
+let empty_snapshot = { counters = []; spans = [] }
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  flush_domain ();
+  Mutex.lock sink_mutex;
+  let counts = Array.copy !g_counts in
+  let hits = Array.copy !g_hits in
+  let secs = Array.copy !g_secs in
+  Mutex.unlock sink_mutex;
+  let cnames = registered_names counters_reg in
+  let snames = registered_names spans_reg in
+  let counters = ref [] in
+  Array.iteri
+    (fun i name ->
+      if i < Array.length counts && counts.(i) <> 0 then
+        counters := (name, counts.(i)) :: !counters)
+    cnames;
+  let spans = ref [] in
+  Array.iteri
+    (fun i name ->
+      if i < Array.length hits && hits.(i) <> 0 then
+        spans := (name, (hits.(i), secs.(i))) :: !spans)
+    snames;
+  {
+    counters = List.sort by_name !counters;
+    spans = List.sort by_name !spans;
+  }
+
+let merge a b =
+  let merge_assoc combine xs ys =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) xs;
+    List.iter
+      (fun (k, v) ->
+        match Hashtbl.find_opt tbl k with
+        | Some w -> Hashtbl.replace tbl k (combine w v)
+        | None -> Hashtbl.replace tbl k v)
+      ys;
+    List.sort by_name (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    counters = merge_assoc ( + ) a.counters b.counters;
+    spans =
+      merge_assoc
+        (fun (h1, s1) (h2, s2) -> (h1 + h2, s1 +. s2))
+        a.spans b.spans;
+  }
+
+let pp ppf s =
+  if s.counters = [] && s.spans = [] then
+    Format.fprintf ppf "(no observations recorded)@."
+  else begin
+    if s.counters <> [] then begin
+      Format.fprintf ppf "%-44s %14s@." "counter" "value";
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "%-44s %14d@." name v)
+        s.counters
+    end;
+    if s.spans <> [] then begin
+      if s.counters <> [] then Format.fprintf ppf "@.";
+      Format.fprintf ppf "%-44s %8s %14s@." "span" "hits" "total_s";
+      List.iter
+        (fun (name, (h, t)) ->
+          Format.fprintf ppf "%-44s %8d %14.6f@." name h t)
+        s.spans
+    end
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (json_escape name) v))
+    s.counters;
+  Buffer.add_string b "}, \"spans\": {";
+  List.iteri
+    (fun i (name, (h, t)) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": {\"count\": %d, \"total_s\": %.6f}"
+           (json_escape name) h t))
+    s.spans;
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,87 @@
+(** Engine observability: named monotonic counters and nestable timing
+    spans, accumulated per domain and merged into a global sink.
+
+    The library is built for a hot path that is instrumented permanently
+    but measured rarely: the default sink is a no-op, so a disabled
+    counter bump or span costs a single atomic load and branch.  When
+    recording is enabled ({!set_enabled}), increments land in a
+    domain-local buffer (no lock, no contention) and are merged into the
+    global sink under a mutex at explicit flush points — the parallel
+    pool flushes a worker's buffer at the end of every task, {e before}
+    the task is reported complete, so a [Pool.map] caller reading a
+    {!snapshot} right after the map returns sees every task's
+    contribution (multicore runs report correctly).
+
+    Metrics are registered by name, idempotently: registering the same
+    name twice returns the same handle.  Counters are monotonic while
+    recording; {!reset} zeroes the sink (typically between benchmark
+    points).  Span durations are wall-clock seconds; nested
+    [with_span]s each accumulate their own full duration, so a parent
+    span includes its children. *)
+
+type counter
+type span
+
+(** [counter name] registers (or looks up) the counter [name].
+    Thread-safe; intended for module-initialisation time. *)
+val counter : string -> counter
+
+(** [span name] registers (or looks up) the span [name]. *)
+val span : string -> span
+
+(** Whether the recording sink is installed.  The hot-path guard. *)
+val enabled : unit -> bool
+
+(** [set_enabled true] installs the recording sink (and implies a
+    {!reset}); [set_enabled false] restores the no-op sink. *)
+val set_enabled : bool -> unit
+
+(** Zero every counter and span in the sink and in the calling domain's
+    buffer.  Other domains' buffers are assumed flushed (the pool
+    flushes after every task). *)
+val reset : unit -> unit
+
+(** [add c n] bumps [c] by [n ≥ 0] in the calling domain's buffer.
+    No-op when disabled. *)
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+(** [record_span s dt] accounts one hit of [dt] seconds to [s].  No-op
+    when disabled. *)
+val record_span : span -> float -> unit
+
+(** [with_span s f] runs [f ()], accounting its wall-clock duration to
+    [s] (exceptions included).  When disabled, exactly [f ()]. *)
+val with_span : span -> (unit -> 'a) -> 'a
+
+(** Wall-clock seconds from a monotonic-enough source ([gettimeofday]);
+    exposed so instrumented libraries need no clock dependency. *)
+val now : unit -> float
+
+(** Merge the calling domain's buffer into the global sink and clear
+    it.  Cheap when the buffer is clean. *)
+val flush_domain : unit -> unit
+
+(** An immutable view of the sink: counters as [(name, value)], spans
+    as [(name, (hits, total_seconds))], both sorted by name, zero
+    entries omitted. *)
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * (int * float)) list;
+}
+
+val empty_snapshot : snapshot
+
+(** [snapshot ()] flushes the calling domain and reads the sink. *)
+val snapshot : unit -> snapshot
+
+(** Pointwise sum (counters and span hits add; durations add). *)
+val merge : snapshot -> snapshot -> snapshot
+
+(** A two-section fixed-width text table (counters, then spans). *)
+val pp : Format.formatter -> snapshot -> unit
+
+(** [{"counters": {name: int, …}, "spans": {name: {"count": int,
+    "total_s": float}, …}}] — names are JSON-escaped. *)
+val to_json : snapshot -> string

@@ -7,6 +7,18 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+let c_tasks = Obs.counter "pool.tasks"
+let c_maps = Obs.counter "pool.maps"
+let c_nested = Obs.counter "pool.nested_sequential_maps"
+
+(* Set on pool-worker domains: the worker's busy-time span.  Doubles as the
+   nested-submission detector — a [map] called from a worker runs
+   sequentially in that worker instead of deadlocking the queue. *)
+let worker_span : Obs.span option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let in_worker () = Domain.DLS.get worker_span <> None
+
 let worker pool =
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -39,7 +51,11 @@ let create ?size () =
   in
   if size > 1 then
     pool.workers <-
-      List.init size (fun _ -> Domain.spawn (fun () -> worker pool));
+      List.init size (fun i ->
+          let span = Obs.span (Printf.sprintf "pool.worker%d.busy" i) in
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_span (Some span);
+              worker pool));
   pool
 
 let size t = t.size
@@ -60,17 +76,35 @@ let map ?pool f xs =
   match pool with
   | None -> sequential_map f xs
   | Some p when p.size <= 1 || p.workers = [] -> sequential_map f xs
+  | Some _ when in_worker () ->
+    (* Nested submission: this domain IS a worker, so parking it on the
+       done-condition could leave the queue with no one to drain it.  Run
+       the map inline; the outer task already owns a worker's slot. *)
+    Obs.incr c_nested;
+    sequential_map f xs
   | Some p ->
     let arr = Array.of_list xs in
     let n = Array.length arr in
     if n = 0 then []
     else begin
+      Obs.incr c_maps;
       let results = Array.make n None in
       let remaining = Atomic.make n in
       let done_mutex = Mutex.create () in
       let all_done = Condition.create () in
       let run i () =
+        let t0 = if Obs.enabled () then Obs.now () else 0. in
         let r = try Ok (f arr.(i)) with e -> Error e in
+        (* Account and merge this domain's observations before the task is
+           reported done: a caller snapshotting right after [map] returns
+           must see every task's contribution. *)
+        if Obs.enabled () then begin
+          (match Domain.DLS.get worker_span with
+           | Some span -> Obs.record_span span (Obs.now () -. t0)
+           | None -> ());
+          Obs.incr c_tasks;
+          Obs.flush_domain ()
+        end;
         results.(i) <- Some r;
         (* The decrement happens-before the broadcast; a waiter holding
            [done_mutex] either observes zero or is woken by it. *)

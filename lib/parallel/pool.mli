@@ -7,8 +7,15 @@
     a pool of size 1 (or passing no pool at all) degrades to a plain
     sequential [List.map], which keeps tests reproducible without domains.
 
-    Tasks must not submit work back into the pool they run on (no nesting):
-    workers blocked on a nested [map] would deadlock the queue. *)
+    Nested submission is safe: a [map] issued from a pool-worker domain
+    (any pool's) runs sequentially in that worker instead of parking it —
+    workers blocked on a nested [map] would otherwise deadlock the queue.
+
+    When the {!Obs} recording sink is enabled, the pool counts maps and
+    tasks, accounts per-worker busy time ([pool.worker<i>.busy] spans),
+    and flushes each worker's domain-local observation buffer at the end
+    of every task, before the task is reported complete — so a snapshot
+    taken right after [map] returns includes every task's metrics. *)
 
 type t
 
@@ -23,8 +30,13 @@ val size : t -> int
 (** [map ?pool f xs] applies [f] to every element of [xs], in parallel when
     [pool] has workers, and returns the results in input order.  The first
     exception raised by [f] (in input order) is re-raised in the caller
-    after all tasks finish. *)
+    after all tasks finish.  Called from a pool worker, it degrades to a
+    sequential map in that worker (no deadlock). *)
 val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Whether the calling domain is a pool worker (nested [map]s from such
+    domains run sequentially).  Exposed for tests. *)
+val in_worker : unit -> bool
 
 (** Signal the workers to exit and join them.  Idempotent.  Pending [map]
     calls must have returned. *)

@@ -2,6 +2,15 @@ open Relational
 module C = Cfds.Cfd
 module P = Cfds.Pattern
 
+(* Observability.  The chase is the engine's innermost hot loop, so it
+   tallies into plain locals and publishes once per [chase] call — the
+   disabled-sink cost is one branch at the end, not one per rule. *)
+let c_chases = Obs.counter "fast_impl.chases"
+let c_rounds = Obs.counter "fast_impl.chase_rounds"
+let c_rule_apps = Obs.counter "fast_impl.rule_applications"
+let c_firings = Obs.counter "fast_impl.rule_firings"
+let c_mask_skips = Obs.counter "fast_impl.mask_prune_skips"
+
 type pat =
   | Wild
   | Const of Value.t
@@ -183,6 +192,9 @@ let chase ?mask compiled u rows =
   let enabled =
     match mask with None -> fun _ -> true | Some m -> fun i -> mask_mem m i
   in
+  (* Local tallies, published once at the end (Conflict included). *)
+  let rounds = ref 0 and rule_apps = ref 0 in
+  let firings = ref 0 and mask_skips = ref 0 in
   let dirty = Array.make n false in
   let queue = Queue.create () in
   (* Bitmask of positions that carry any constraint (equality or constant).
@@ -212,13 +224,19 @@ let chase ?mask compiled u rows =
         | _ -> false
       in
       let changed = union u i j in
-      if changed && not both_const then mark_class i;
+      if changed then begin
+        incr firings;
+        if not both_const then mark_class i
+      end;
       changed
     end
   in
   let bind_m i v =
     let changed = bind u i v in
-    if changed then mark_class i;
+    if changed then begin
+      incr firings;
+      mark_class i
+    end;
     changed
   in
   (* Allocation-free premise scan (no closure, no Array.for_all). *)
@@ -244,6 +262,7 @@ let chase ?mask compiled u rows =
   let apply_rule rule changed =
     match rule with
     | Attr_eq (a, b) ->
+      incr rule_apps;
       List.fold_left (fun ch row -> union_m (row + a) (row + b) || ch) changed rows
     | Standard { lhs; rhs_pos; rhs; pair_mask; self_mask } ->
       let act = !active in
@@ -252,8 +271,12 @@ let chase ?mask compiled u rows =
         (match rhs with Const _ -> true | Wild -> false)
         && self_mask land act = self_mask
       in
-      if not (can_pair || can_self) then changed
+      if not (can_pair || can_self) then begin
+        incr mask_skips;
+        changed
+      end
       else begin
+        incr rule_apps;
         let step row row' ch =
           if premise_holds row row' lhs then
             match rhs with
@@ -282,23 +305,35 @@ let chase ?mask compiled u rows =
   (* Seed the worklist: positions of every cell the caller's setup already
      constrained (shared class or bound constant).  Members of nontrivial
      classes all get scanned, so all their positions are marked. *)
-  Array.iteri
-    (fun c _ ->
-      let r = find u c in
-      if r <> c || u.const.(r) <> None then mark_pos (c mod n))
-    u.parent;
-  List.iter
-    (fun idx ->
-      if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
-    compiled.autonomous;
-  while not (Queue.is_empty queue) do
-    let p = Queue.pop queue in
-    dirty.(p) <- false;
-    List.iter
-      (fun idx ->
-        if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
-      compiled.watchers.(p)
-  done
+  let publish () =
+    if Obs.enabled () then begin
+      Obs.incr c_chases;
+      Obs.add c_rounds !rounds;
+      Obs.add c_rule_apps !rule_apps;
+      Obs.add c_firings !firings;
+      Obs.add c_mask_skips !mask_skips
+    end
+  in
+  Fun.protect ~finally:publish (fun () ->
+      Array.iteri
+        (fun c _ ->
+          let r = find u c in
+          if r <> c || u.const.(r) <> None then mark_pos (c mod n))
+        u.parent;
+      incr rounds;
+      List.iter
+        (fun idx ->
+          if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
+        compiled.autonomous;
+      while not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        dirty.(p) <- false;
+        incr rounds;
+        List.iter
+          (fun idx ->
+            if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
+          compiled.watchers.(p)
+      done)
 
 (* Safe RHS: the term respects the pattern binding in every realisation. *)
 let rhs_safe u cell = function

@@ -1,6 +1,11 @@
 open Relational
 module C = Cfds.Cfd
 
+let c_tested = Obs.counter "mincover.candidates_tested"
+let c_removed = Obs.counter "mincover.cfds_removed"
+let c_lhs_removed = Obs.counter "mincover.lhs_attrs_removed"
+let s_cover = Obs.span "mincover.minimal_cover"
+
 let reduce_lhs compiled phi =
   if C.is_attr_eq phi then phi
   else
@@ -16,12 +21,17 @@ let reduce_lhs compiled phi =
             (List.filter (fun (c, _) -> not (String.equal c a)) phi.C.lhs)
             phi.C.rhs
         in
-        if Fast_impl.implies compiled smaller then go smaller tried
+        Obs.incr c_tested;
+        if Fast_impl.implies compiled smaller then begin
+          Obs.incr c_lhs_removed;
+          go smaller tried
+        end
         else go phi (a :: tried)
     in
     go phi []
 
 let minimal_cover schema sigma =
+  Obs.with_span s_cover @@ fun () ->
   (* CFDs are interpreted over [schema], whatever relation name they carry
      (RBR's pseudo body relation re-homes them). *)
   let sigma = List.map (fun c -> C.with_rel c (Schema.relation_name schema)) sigma in
@@ -46,7 +56,11 @@ let minimal_cover schema sigma =
   Array.iteri
     (fun i phi ->
       Fast_impl.mask_clear mask i;
-      if Fast_impl.implies ~mask compiled phi then redundant.(i) <- true
+      Obs.incr c_tested;
+      if Fast_impl.implies ~mask compiled phi then begin
+        Obs.incr c_removed;
+        redundant.(i) <- true
+      end
       else Fast_impl.mask_set mask i)
     arr;
   List.filteri (fun i _ -> not redundant.(i)) sigma

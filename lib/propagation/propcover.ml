@@ -2,6 +2,18 @@ open Relational
 module C = Cfds.Cfd
 module P = Cfds.Pattern
 
+(* Per-phase spans of Algorithm PropCFD_SPC (Fig. 4); [propcover.cover]
+   wraps the whole run, the rest mirror the line numbers in [cover]. *)
+let s_cover = Obs.span "propcover.cover"
+let s_initial_mincover = Obs.span "propcover.initial_mincover"
+let s_rename = Obs.span "propcover.rename"
+let s_compute_eq = Obs.span "propcover.compute_eq"
+let s_rbr = Obs.span "propcover.rbr"
+let s_eq2cfd = Obs.span "propcover.eq2cfd"
+let s_final_mincover = Obs.span "propcover.final_mincover"
+let c_covers = Obs.counter "propcover.covers_computed"
+let c_cover_size = Obs.counter "propcover.cover_cfds"
+
 type options = {
   prune_chunk : int option;
   max_intermediate : int option;
@@ -79,6 +91,8 @@ let normalise_const_form c =
   else c
 
 let cover ?(options = default_options) (v : Spc.t) sigma =
+  Obs.with_span s_cover @@ fun () ->
+  Obs.incr c_covers;
   List.iter
     (fun c ->
       if not (Schema.mem v.Spc.source c.C.rel) then
@@ -90,14 +104,17 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
   (* Line 1: Σ := MinCover(Σ). *)
   let sigma =
     if options.skip_initial_mincover then sigma
-    else Mincover.minimal_cover_db v.Spc.source sigma
+    else
+      Obs.with_span s_initial_mincover (fun () ->
+          Mincover.minimal_cover_db v.Spc.source sigma)
   in
   (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
-  let sigma_v = rename_sources v sigma in
+  let sigma_v = Obs.with_span s_rename (fun () -> rename_sources v sigma) in
   (* Line 2: EQ := ComputeEQ. *)
   let body = Spc.body_attrs v in
   match
-    Compute_eq.compute ~body ~selection:v.Spc.selection ~sigma:sigma_v
+    Obs.with_span s_compute_eq (fun () ->
+        Compute_eq.compute ~body ~selection:v.Spc.selection ~sigma:sigma_v)
   with
   | Compute_eq.Bottom ->
     { cover = empty_view_cover v; complete = true; always_empty = true }
@@ -144,11 +161,16 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
       Option.map (fun chunk -> (pseudo_schema, chunk)) options.prune_chunk
     in
     let sigma_c, completeness =
-      Rbr.reduce ?prune ?pool:options.pool ?max_size:options.max_intermediate
-        ~order:options.rbr_order sigma_v ~drop_attrs
+      Obs.with_span s_rbr (fun () ->
+          Rbr.reduce ?prune ?pool:options.pool
+            ?max_size:options.max_intermediate ~order:options.rbr_order sigma_v
+            ~drop_attrs)
     in
     (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)
-    let sigma_d = Compute_eq.to_cfds ~view:v.Spc.name ~y classes in
+    let sigma_d =
+      Obs.with_span s_eq2cfd (fun () ->
+          Compute_eq.to_cfds ~view:v.Spc.name ~y classes)
+    in
     let rc_cfds =
       List.map
         (fun (a, value) -> C.const_binding v.Spc.name (Attribute.name a) value)
@@ -158,7 +180,11 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
     let all =
       List.map normalise_const_form (sigma_c @ sigma_d @ rc_cfds)
     in
-    let cover = Mincover.minimal_cover view_schema all in
+    let cover =
+      Obs.with_span s_final_mincover (fun () ->
+          Mincover.minimal_cover view_schema all)
+    in
+    Obs.add c_cover_size (List.length cover);
     {
       cover;
       complete = (match completeness with `Complete -> true | `Truncated -> false);

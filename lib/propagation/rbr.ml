@@ -2,6 +2,15 @@ module C = Cfds.Cfd
 module P = Cfds.Pattern
 module I = Cfds.Interner
 
+(* Observability (no-op unless the recording sink is enabled). *)
+let c_attrs_dropped = Obs.counter "rbr.attrs_dropped"
+let c_resolvents = Obs.counter "rbr.resolvents_generated"
+let c_deduped = Obs.counter "rbr.resolvents_deduped"
+let c_buckets = Obs.counter "rbr.bucket_nodes_touched"
+let c_prunes = Obs.counter "rbr.prune_rounds"
+let s_reduce = Obs.span "rbr.reduce"
+let s_prune = Obs.span "rbr.prune"
+
 let mentions a cfd = List.mem a (C.attrs cfd)
 
 (* ---------------------------------------------------------------------- *)
@@ -266,11 +275,18 @@ module Engine = struct
               consumers)
           producers
       in
+      Obs.incr c_attrs_dropped;
+      Obs.add c_buckets (List.length producers + List.length consumers);
+      Obs.add c_resolvents (List.length resolvents);
       let involved = Hashtbl.create 16 in
       List.iter (fun (n : node) -> Hashtbl.replace involved n.nid n) producers;
       List.iter (fun (n : node) -> Hashtbl.replace involved n.nid n) consumers;
       Hashtbl.iter (fun _ n -> remove eng n) involved;
-      List.iter (fun ic -> add eng ic) resolvents
+      List.iter
+        (fun ic ->
+          if Hashtbl.mem eng.live ic then Obs.incr c_deduped;
+          add eng ic)
+        resolvents
     end
 
   let extract eng =
@@ -300,9 +316,13 @@ let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
   let prune_set () =
     match prune with
     | Some (schema, chunk) when Engine.size !eng > 2 * !last_pruned ->
-      let s = Mincover.prune_partitioned ?pool schema ~chunk (Engine.extract !eng) in
-      last_pruned := max 256 (List.length s);
-      eng := Engine.build interner s
+      Obs.incr c_prunes;
+      Obs.with_span s_prune (fun () ->
+          let s =
+            Mincover.prune_partitioned ?pool schema ~chunk (Engine.extract !eng)
+          in
+          last_pruned := max 256 (List.length s);
+          eng := Engine.build interner s)
     | Some _ | None -> ()
   in
   (* Greedy min-degree elimination order: dropping the attribute with the
@@ -343,4 +363,4 @@ let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
          (clean, `Truncated)
        | _ -> go rest)
   in
-  go drop_ids
+  Obs.with_span s_reduce (fun () -> go drop_ids)

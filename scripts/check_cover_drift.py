@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Cover-size regression guard.
+
+Compares a smoke-bench JSON dump (bench/main.exe --json) against the
+checked-in baseline BENCH_cover.json.  Cover sizes are a pure function
+of the workload seeds (1000 + 7*s), so for the same --seeds value every
+shared point must match the baseline *exactly* — any drift means the
+propagation engine changed semantics, not just speed.
+
+Timings are environment-dependent and deliberately ignored.
+
+Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON]
+Exit status: 0 = no drift, 1 = drift or malformed input.
+"""
+
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    figures = doc.get("figures", {})
+    out = {}
+    for fig, body in figures.items():
+        for pt in body.get("points", []):
+            out[(fig, pt["x"])] = pt
+    return doc.get("seeds"), out
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    smoke_path = sys.argv[1]
+    base_path = sys.argv[2] if len(sys.argv) == 3 else "BENCH_cover.json"
+
+    smoke_seeds, smoke = load_points(smoke_path)
+    base_seeds, base = load_points(base_path)
+
+    if smoke_seeds != base_seeds:
+        print(
+            f"DRIFT GUARD SKIPPED: seed counts differ "
+            f"(smoke={smoke_seeds}, baseline={base_seeds}); "
+            f"cover means are only comparable for identical --seeds",
+            file=sys.stderr,
+        )
+        return 1
+
+    shared = sorted(set(smoke) & set(base))
+    if not shared:
+        print("DRIFT GUARD FAILED: no shared (figure, x) points", file=sys.stderr)
+        return 1
+
+    drift = []
+    for key in shared:
+        for col in ("cover40", "cover50", "empty_pct"):
+            if col in base[key] and smoke[key].get(col) != base[key][col]:
+                drift.append(
+                    f"  {key[0]} x={key[1]} {col}: "
+                    f"baseline={base[key][col]} got={smoke[key].get(col)}"
+                )
+
+    if drift:
+        print("DRIFT GUARD FAILED: cover sizes diverge from BENCH_cover.json")
+        print("\n".join(drift))
+        print(
+            "If the change is intentional (engine semantics changed), "
+            "regenerate the baseline with bench/main.exe --json and commit it."
+        )
+        return 1
+
+    print(f"drift guard OK: {len(shared)} point(s) match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

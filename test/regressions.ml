@@ -1,0 +1,55 @@
+(* Seed-replay regression corpus.
+
+   Every entry pins a workload seed against the named [seed -> bool]
+   check it once exercised (or nearly broke).  The property suites keep
+   exploring fresh seeds; this corpus guarantees the interesting ones
+   never regress silently, and gives a future bug-fix PR a one-line way
+   to pin its counterexample:
+
+     add (check_name, seed) below, nothing else.
+
+   Seeds fall in the generators' [0, 1_000_000] range.  The current
+   entries are a spread of structurally distinct workloads (empty
+   covers, multi-round RBR, conflict-heavy chases) observed while
+   developing the observability layer. *)
+
+let checks =
+  [
+    ("engine.drop_indexed_agrees", Test_engine.drop_indexed_agrees);
+    ( "engine.reduce_agrees_with_iterated_drop",
+      Test_engine.reduce_agrees_with_iterated_drop );
+    ("engine.masked_implies_agrees", Test_engine.masked_implies_agrees);
+    ("engine.pooled_prune_agrees", Test_engine.pooled_prune_agrees);
+    ( "engine.instrumentation_transparent",
+      Test_engine.instrumentation_transparent );
+    ("oracle.oracle_holds", Test_oracle.oracle_holds);
+  ]
+
+let corpus =
+  [
+    ("engine.drop_indexed_agrees", [ 0; 1; 42; 1664; 99_991; 524_287 ]);
+    ( "engine.reduce_agrees_with_iterated_drop",
+      [ 0; 7; 123; 4_096; 77_777; 999_983 ] );
+    ("engine.masked_implies_agrees", [ 0; 13; 256; 31_337; 610_612 ]);
+    ("engine.pooled_prune_agrees", [ 0; 5; 1_000; 86_028; 750_000 ]);
+    ("engine.instrumentation_transparent", [ 0; 11; 2_024; 500_500 ]);
+    ("oracle.oracle_holds", [ 0; 3; 17; 404; 6_174; 271_828; 999_999 ]);
+  ]
+
+let replay name check seed () =
+  if not (check seed) then
+    Alcotest.failf "pinned seed %d regressed on %s" seed name
+
+let suite =
+  List.concat_map
+    (fun (name, seeds) ->
+      let check =
+        match List.assoc_opt name checks with
+        | Some c -> c
+        | None -> Fmt.failwith "regressions.ml: unknown check %s" name
+      in
+      List.map
+        (fun seed ->
+          (Fmt.str "%s / seed %d" name seed, `Quick, replay name check seed))
+        seeds)
+    corpus

@@ -25,4 +25,7 @@ let () =
       ("syntax", Test_syntax.suite);
       ("properties", Test_properties.suite);
       ("engine", Test_engine.suite);
+      ("pool", Test_pool.suite);
+      ("oracle", Test_oracle.suite);
+      ("regressions", Regressions.suite);
     ]

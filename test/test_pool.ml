@@ -1,0 +1,86 @@
+(* The domain pool's contract beyond plain mapping: nested submission
+   from a worker degrades to a sequential map (instead of deadlocking the
+   shared queue), the first exception in input order wins, and shutdown
+   is idempotent with maps degrading gracefully afterwards. *)
+
+open Fixtures
+module Pool = Parallel.Pool
+
+let inputs = List.init 8 (fun i -> i + 1)
+
+(* Regression for the nested-submission deadlock: with 3 workers and 8
+   outer tasks, every worker used to park on the inner map's
+   done-condition while the inner tasks sat in the queue behind the
+   remaining outer ones — no domain left to drain it.  Detection via the
+   worker-domain DLS flag runs the inner map inline instead. *)
+let test_nested_map () =
+  Pool.with_pool ~size:3 (fun pool ->
+      let expected =
+        List.map
+          (fun x -> List.fold_left ( + ) 0 (List.map (fun y -> x * y) [ 1; 2; 3 ]))
+          inputs
+      in
+      let got =
+        Pool.map ~pool
+          (fun x ->
+            let inner = Pool.map ~pool (fun y -> x * y) [ 1; 2; 3 ] in
+            List.fold_left ( + ) 0 inner)
+          inputs
+      in
+      Alcotest.(check (list int)) "nested map result" expected got)
+
+let test_in_worker_flag () =
+  check_bool "caller is not a worker" false (Pool.in_worker ());
+  Pool.with_pool ~size:2 (fun pool ->
+      let flags = Pool.map ~pool (fun _ -> Pool.in_worker ()) inputs in
+      check_bool "tasks run on workers" true (List.for_all Fun.id flags);
+      check_bool "caller still not a worker" false (Pool.in_worker ()))
+
+exception Boom of int
+
+let test_exception_order () =
+  Pool.with_pool ~size:3 (fun pool ->
+      match
+        Pool.map ~pool
+          (fun i -> if i >= 3 then raise (Boom i) else i)
+          (List.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        (* All tasks finish; the caller re-raises the first failure in
+           input order, whatever order the workers hit them in. *)
+        check_int "first failing input" 3 i)
+
+let test_sequential_exception_order () =
+  (* The no-pool path raises at the first failing element too. *)
+  match Pool.map (fun i -> if i >= 3 then raise (Boom i) else i) (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i -> check_int "first failing input" 3 i
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~size:2 () in
+  let r1 = Pool.map ~pool succ [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "before shutdown" [ 2; 3; 4 ] r1;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown the pool has no workers: maps degrade to sequential
+     rather than hanging on a dead queue. *)
+  let r2 = Pool.map ~pool succ [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "after shutdown" [ 2; 3; 4 ] r2
+
+let test_size_one_spawns_nothing () =
+  let pool = Pool.create ~size:1 () in
+  check_int "size" 1 (Pool.size pool);
+  let r = Pool.map ~pool succ [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "sequential result" [ 2; 3; 4 ] r;
+  Pool.shutdown pool
+
+let suite =
+  [
+    ("nested map runs sequentially in the worker", `Quick, test_nested_map);
+    ("in_worker flag", `Quick, test_in_worker_flag);
+    ("exception order (pooled)", `Quick, test_exception_order);
+    ("exception order (sequential)", `Quick, test_sequential_exception_order);
+    ("shutdown is idempotent", `Quick, test_shutdown_idempotent);
+    ("size-1 pool is sequential", `Quick, test_size_one_spawns_nothing);
+  ]
