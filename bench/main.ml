@@ -9,6 +9,7 @@
                                               # machine-readable results
      dune exec bench/main.exe -- --points 2 --seeds 1 fig5   # CI smoke
      dune exec bench/main.exe -- --domains 4 fig5            # parallel seeds
+     dune exec bench/main.exe -- --trace trace.json fig5     # Perfetto trace
 
    Experiments (see DESIGN.md / EXPERIMENTS.md):
      fig5      runtime + cover size vs |Sigma|      (Fig. 5a/5b)
@@ -37,6 +38,11 @@ let json_path = ref None
 let pool = ref None
 let stats_on = ref false
 let stats_json_path = ref None
+
+(* --trace PATH records a Chrome trace-event timeline (Perfetto-loadable)
+   of every figure point: one file per point at PATH.<fig>.x<val>.json,
+   plus the last point overwriting PATH itself. *)
+let trace_path = ref None
 
 (* Aggregated observability: per-figure totals plus a grand total, built
    from the per-point snapshots ([Obs.reset] runs before every point). *)
@@ -105,8 +111,14 @@ let figure ~key ~name ~xlabel ~points ~run =
   let rows =
     List.map
       (fun x ->
-        if !stats_on then Obs.reset ();
+        if !stats_on || !trace_path <> None then Obs.reset ();
         let p40 = run x 40 and p50 = run x 50 in
+        (* Written before the stats snapshot resets the sink. *)
+        (match !trace_path with
+         | Some base ->
+           Obs.write_trace (Printf.sprintf "%s.%s.x%d.json" base key x);
+           Obs.write_trace base
+         | None -> ());
         let stats =
           if !stats_on then begin
             let s = Obs.snapshot () in
@@ -663,19 +675,28 @@ let () =
       stats_on := true;
       stats_json_path := Some path;
       parse rest acc
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse rest acc
     | x :: rest -> parse rest (x :: acc)
     | [] -> List.rev acc
   in
   let chosen = parse (List.tl (Array.to_list Sys.argv)) [] in
   let chosen = if chosen = [] then all else chosen in
-  if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());
   if !stats_on then Obs.set_enabled true;
-  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point%s%s@." !seeds
+  if !trace_path <> None then Obs.set_trace_enabled true;
+  if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());
+  Fmt.pr "PropCFD_SPC benchmark harness -- %d seed(s) per point%s%s%s@." !seeds
     (match !pool with
      | Some p -> Printf.sprintf ", %d domains" (Parallel.Pool.size p)
      | None -> "")
-    (if !stats_on then ", stats on" else "");
+    (if !stats_on then ", stats on" else "")
+    (if !trace_path <> None then ", trace on" else "");
   List.iter run_one chosen;
   Option.iter write_json !json_path;
   Option.iter write_stats_json !stats_json_path;
+  Option.iter
+    (fun p ->
+      Fmt.pr "wrote last-point trace to %s (per-point files alongside)@." p)
+    !trace_path;
   Option.iter Parallel.Pool.shutdown !pool

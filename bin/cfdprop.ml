@@ -76,7 +76,7 @@ let validate path =
     rows;
   0
 
-let cover path view_name chunk bound stats stats_json =
+let cover path view_name chunk bound stats stats_json why provenance_json =
   let doc = load path in
   warn_finite doc;
   let view = find_view doc view_name in
@@ -89,6 +89,7 @@ let cover path view_name chunk bound stats stats_json =
     }
   in
   if stats || stats_json <> None then Obs.set_enabled true;
+  if why || provenance_json <> None then Propagation.Provenance.set_enabled true;
   let r = Propagation.Propcover.cover ~options view sigma in
   if r.Propagation.Propcover.always_empty then
     Fmt.pr "# the view is empty on every source satisfying the CFDs@.";
@@ -99,6 +100,22 @@ let cover path view_name chunk bound stats stats_json =
     r.Propagation.Propcover.cover;
   Fmt.pr "# %d CFD(s) in the minimal propagation cover@."
     (List.length r.Propagation.Propcover.cover);
+  if why then
+    List.iter
+      (fun c ->
+        Fmt.pr "@.";
+        Propagation.Provenance.pp_tree ~pp_cfd:Parser.print_cfd
+          Format.std_formatter c)
+      r.Propagation.Propcover.cover;
+  Option.iter
+    (fun p ->
+      let oc = open_out p in
+      output_string oc
+        (Propagation.Provenance.to_json ~pp_cfd:Parser.print_cfd
+           r.Propagation.Propcover.cover);
+      close_out oc;
+      Fmt.epr "# wrote cover provenance to %s@." p)
+    provenance_json;
   if Obs.enabled () then begin
     let s = Obs.snapshot () in
     (* The cover itself goes to stdout; the engine stats are diagnostics. *)
@@ -146,6 +163,72 @@ let check path cfd_text view_name budget =
   | Propagation.Propagate.Budget_exceeded ->
     Fmt.pr "UNDECIDED: instantiation budget exhausted (raise --budget)@.";
     3
+
+(* Explain a view CFD: when it is propagated, show which cover CFDs imply
+   it (the chase's fired-rule witness) and how each of those was derived
+   from Σ; when it is not, show the chase's counterexample tableau. *)
+let explain path cfd_text view_name budget =
+  let doc = load path in
+  warn_finite doc;
+  let phi = parse_view_cfd doc cfd_text in
+  let view =
+    find_view doc (match view_name with Some _ -> view_name | None -> Some phi.Cfds.Cfd.rel)
+  in
+  let sigma = source_cfds doc in
+  Propagation.Provenance.set_enabled true;
+  let r = Propagation.Propcover.cover view sigma in
+  if r.Propagation.Propcover.always_empty then begin
+    Fmt.pr "PROPAGATED (vacuously): the view is empty on every source \
+            satisfying the CFDs@.";
+    0
+  end
+  else begin
+    let cover = r.Propagation.Propcover.cover in
+    let vschema = Spc.view_schema view in
+    let compiled = Propagation.Fast_impl.compile vschema cover in
+    let fired =
+      Bytes.make (Propagation.Fast_impl.num_rules compiled) '\000'
+    in
+    if Propagation.Fast_impl.implies ~fired compiled phi then begin
+      let used = List.filteri (fun i _ -> Bytes.get fired i = '\001') cover in
+      Fmt.pr "PROPAGATED: %a@." Parser.print_cfd phi;
+      if used = [] then Fmt.pr "  (trivially implied — no cover CFD needed)@."
+      else begin
+        Fmt.pr "  implied by %d cover CFD(s):@." (List.length used);
+        List.iter (fun c -> Fmt.pr "    %a@." Parser.print_cfd c) used;
+        Fmt.pr "@.Derivations (each bottoms out in source CFDs):@.";
+        List.iter
+          (fun c ->
+            Fmt.pr "@.";
+            Propagation.Provenance.pp_tree ~pp_cfd:Parser.print_cfd
+              Format.std_formatter c)
+          used
+      end;
+      0
+    end
+    else begin
+      (* Not implied by the computed cover; the chase oracle is exact, so
+         either confirm non-propagation with its counterexample tableau or
+         (truncated cover) discover the CFD is propagated after all. *)
+      let strategy = Propagation.Propagate.Auto { budget } in
+      match Propagation.Propagate.decide ~strategy view ~sigma phi with
+      | Propagation.Propagate.Propagated ->
+        Fmt.pr "PROPAGATED: %a (certified by the chase oracle; the \
+                truncated cover alone does not imply it)@."
+          Parser.print_cfd phi;
+        0
+      | Propagation.Propagate.Not_propagated witness ->
+        Fmt.pr "NOT PROPAGATED: %a@." Parser.print_cfd phi;
+        Fmt.pr "Counterexample source database (chase tableau): it \
+                satisfies every source CFD, yet its view violates the \
+                queried CFD:@.%a@."
+          Database.pp witness;
+        1
+      | Propagation.Propagate.Budget_exceeded ->
+        Fmt.pr "UNDECIDED: instantiation budget exhausted (raise --budget)@.";
+        3
+    end
+  end
 
 let empty path view_name budget =
   let doc = load path in
@@ -284,10 +367,29 @@ let cover_cmd =
       & info [ "stats-json" ] ~docv:"PATH"
           ~doc:"Write the recorded engine stats to $(docv) as JSON.")
   in
+  let why =
+    Arg.(
+      value & flag
+      & info [ "why" ]
+          ~doc:
+            "Record derivation provenance and print, for every cover CFD, \
+             the tree of RBR resolutions, equivalence classes, renamings \
+             and reductions it was obtained by, bottoming out in source \
+             CFDs.")
+  in
+  let provenance_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "provenance-json" ] ~docv:"PATH"
+          ~doc:"Write the cover's derivation DAG to $(docv) as JSON.")
+  in
   Cmd.v
     (Cmd.info "cover"
        ~doc:"Compute the minimal propagation cover of the source CFDs through a view.")
-    Term.(const cover $ path_arg $ view_arg $ chunk $ bound $ stats $ stats_json)
+    Term.(
+      const cover $ path_arg $ view_arg $ chunk $ bound $ stats $ stats_json
+      $ why $ provenance_json)
 
 let check_cmd =
   let cfd_arg =
@@ -299,6 +401,21 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Decide whether a view CFD is propagated.")
     Term.(const check $ path_arg $ cfd_arg $ view_arg $ budget_arg)
+
+let explain_cmd =
+  let cfd_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CFD" ~doc:"View CFD, e.g. \"V([CC='44', zip] -> [street])\".")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain whether a view CFD is propagated: print the cover CFDs \
+          that imply it and their derivations from the source CFDs, or a \
+          counterexample source database.")
+    Term.(const explain $ path_arg $ cfd_arg $ view_arg $ budget_arg)
 
 let empty_cmd =
   Cmd.v
@@ -330,4 +447,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ validate_cmd; cover_cmd; check_cmd; empty_cmd; audit_cmd ]))
+       (Cmd.group info
+          [ validate_cmd; cover_cmd; check_cmd; explain_cmd; empty_cmd; audit_cmd ]))

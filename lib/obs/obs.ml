@@ -107,6 +107,12 @@ let record_span s dt =
 
 let now () = Unix.gettimeofday ()
 
+let span_name s =
+  Mutex.lock reg_mutex;
+  let n = if s < spans_reg.n then spans_reg.names.(s) else "?" in
+  Mutex.unlock reg_mutex;
+  n
+
 let with_span s f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
@@ -114,7 +120,260 @@ let with_span s f =
     Fun.protect ~finally:(fun () -> record_span s (now () -. t0)) f
   end
 
+(* --- trace-event timeline ------------------------------------------------ *)
+
+(* Chrome trace-event recorder (loadable in Perfetto / chrome://tracing).
+   Same discipline as the counters: a per-domain ring buffer takes
+   unsynchronised writes and drains into the global sink at the existing
+   flush points (snapshot, pool task end).  The ring has a fixed capacity
+   and *drops* on overflow (counted) instead of overwriting — and it always
+   reserves one slot per open 'B' event, so a recorded begin can never lose
+   its matching end to a full buffer. *)
+
+type event = {
+  ev_name : string;
+  ph : char; (* 'B' begin | 'E' end | 'i' instant *)
+  ts_us : float; (* microseconds since [trace_origin] *)
+  tid : int; (* per-domain track id *)
+  ev_args : (string * string) list; (* values auto-typed at export *)
+}
+
+let trace_flag = Atomic.make false
+let trace_enabled () = Atomic.get trace_flag
+let trace_origin = now ()
+let ts_now () = (now () -. trace_origin) *. 1e6
+let default_trace_capacity = 1 lsl 16
+let trace_capacity = ref default_trace_capacity
+
+let set_trace_capacity n =
+  if n < 8 then invalid_arg "Obs.set_trace_capacity: capacity < 8";
+  trace_capacity := n
+
+let no_event = { ev_name = ""; ph = 'i'; ts_us = 0.; tid = 0; ev_args = [] }
+
+type tbuf = {
+  mutable ring : event array; (* allocated lazily at [!trace_capacity] *)
+  mutable tlen : int;
+  mutable open_spans : int; (* recorded 'B's awaiting their 'E' *)
+  mutable span_stack : bool list; (* per open span: was its 'B' recorded? *)
+  mutable tdropped : int;
+  mutable tid : int; (* dense track id, assigned on first use *)
+}
+
+let next_tid = Atomic.make 0
+
+(* tid -> display name, under [sink_mutex]. *)
+let track_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let tbuf_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ring = [||];
+        tlen = 0;
+        open_spans = 0;
+        span_stack = [];
+        tdropped = 0;
+        tid = -1;
+      })
+
+let tbuf_tid b =
+  if b.tid < 0 then b.tid <- Atomic.fetch_and_add next_tid 1;
+  b.tid
+
+let set_track_name name =
+  let b = Domain.DLS.get tbuf_key in
+  let tid = tbuf_tid b in
+  Mutex.lock sink_mutex;
+  Hashtbl.replace track_names tid name;
+  Mutex.unlock sink_mutex
+
+(* The main domain initialises this module, so it gets track 0. *)
+let () = set_track_name "main"
+
+let tbuf_ring b =
+  if b.tlen = 0 && Array.length b.ring <> !trace_capacity then
+    b.ring <- Array.make !trace_capacity no_event;
+  b.ring
+
+let push_event b ev =
+  let ring = tbuf_ring b in
+  ring.(b.tlen) <- ev;
+  b.tlen <- b.tlen + 1
+
+(* Global sink for flushed events: batches in arrival order.  Within one
+   track the order is chronological (each domain flushes its ring in record
+   order, and flushes from one domain are serialised). *)
+let g_events : event list ref = ref [] (* reversed *)
+let g_events_n = ref 0
+let g_tdropped = ref 0
+
+let flush_trace_domain () =
+  let b = Domain.DLS.get tbuf_key in
+  if b.tlen > 0 || b.tdropped > 0 then begin
+    Mutex.lock sink_mutex;
+    for i = 0 to b.tlen - 1 do
+      g_events := b.ring.(i) :: !g_events
+    done;
+    g_events_n := !g_events_n + b.tlen;
+    g_tdropped := !g_tdropped + b.tdropped;
+    Mutex.unlock sink_mutex;
+    b.tlen <- 0;
+    b.tdropped <- 0
+  end
+
+let trace_begin ?(args = []) name =
+  if Atomic.get trace_flag then begin
+    let b = Domain.DLS.get tbuf_key in
+    let ring = tbuf_ring b in
+    (* Reserve a slot for this span's 'E' and one for every pending 'E'. *)
+    let room = b.tlen + b.open_spans + 2 <= Array.length ring in
+    if room then begin
+      push_event b
+        {
+          ev_name = name;
+          ph = 'B';
+          ts_us = ts_now ();
+          tid = tbuf_tid b;
+          ev_args = args;
+        };
+      b.open_spans <- b.open_spans + 1
+    end
+    else b.tdropped <- b.tdropped + 1;
+    b.span_stack <- room :: b.span_stack
+  end
+
+let trace_end ?(args = []) name =
+  if Atomic.get trace_flag then begin
+    let b = Domain.DLS.get tbuf_key in
+    match b.span_stack with
+    | [] -> () (* unbalanced: ignore *)
+    | recorded :: rest ->
+      b.span_stack <- rest;
+      if recorded then begin
+        (* Room is guaranteed: [trace_begin] reserved this slot. *)
+        push_event b
+          {
+            ev_name = name;
+            ph = 'E';
+            ts_us = ts_now ();
+            tid = tbuf_tid b;
+            ev_args = args;
+          };
+        b.open_spans <- b.open_spans - 1
+      end
+      else b.tdropped <- b.tdropped + 1
+  end
+
+let trace_instant ?(args = []) name =
+  if Atomic.get trace_flag then begin
+    let b = Domain.DLS.get tbuf_key in
+    let ring = tbuf_ring b in
+    if b.tlen + b.open_spans + 1 <= Array.length ring then
+      push_event b
+        {
+          ev_name = name;
+          ph = 'i';
+          ts_us = ts_now ();
+          tid = tbuf_tid b;
+          ev_args = args;
+        }
+    else b.tdropped <- b.tdropped + 1
+  end
+
+(* Per-phase GC accounting: the outermost traced span on each domain also
+   publishes the deltas as counters (children are included in the parent,
+   so only depth 0 counts — no double counting). *)
+let c_gc_minor_words = register counters_reg "gc.minor_words"
+let c_gc_major_words = register counters_reg "gc.major_words"
+let c_gc_minor_collections = register counters_reg "gc.minor_collections"
+let c_gc_major_collections = register counters_reg "gc.major_collections"
+
+let with_span_traced s f =
+  if not (Atomic.get trace_flag) then with_span s f
+  else begin
+    let name = span_name s in
+    let b = Domain.DLS.get tbuf_key in
+    let outermost = b.span_stack = [] in
+    let g0 = Gc.quick_stat () in
+    trace_begin name;
+    Fun.protect
+      ~finally:(fun () ->
+        let g1 = Gc.quick_stat () in
+        let minor_w = g1.Gc.minor_words -. g0.Gc.minor_words in
+        let major_w = g1.Gc.major_words -. g0.Gc.major_words in
+        let minor_c = g1.Gc.minor_collections - g0.Gc.minor_collections in
+        let major_c = g1.Gc.major_collections - g0.Gc.major_collections in
+        if outermost then begin
+          add c_gc_minor_words (int_of_float minor_w);
+          add c_gc_major_words (int_of_float major_w);
+          add c_gc_minor_collections minor_c;
+          add c_gc_major_collections major_c
+        end;
+        trace_end
+          ~args:
+            [
+              ("gc_minor_words", Printf.sprintf "%.0f" minor_w);
+              ("gc_major_words", Printf.sprintf "%.0f" major_w);
+              ("gc_minor_collections", string_of_int minor_c);
+              ("gc_major_collections", string_of_int major_c);
+            ]
+          name)
+      (fun () -> with_span s f)
+  end
+
+let trace_reset () =
+  let b = Domain.DLS.get tbuf_key in
+  b.tlen <- 0;
+  b.tdropped <- 0;
+  b.open_spans <- 0;
+  b.span_stack <- [];
+  Mutex.lock sink_mutex;
+  g_events := [];
+  g_events_n := 0;
+  g_tdropped := 0;
+  Mutex.unlock sink_mutex
+
+let set_trace_enabled on =
+  if on then begin
+    trace_reset ();
+    Atomic.set trace_flag true
+  end
+  else Atomic.set trace_flag false
+
+let trace_dropped () =
+  let b = Domain.DLS.get tbuf_key in
+  Mutex.lock sink_mutex;
+  let d = !g_tdropped in
+  Mutex.unlock sink_mutex;
+  d + b.tdropped
+
+let trace_events () =
+  flush_trace_domain ();
+  Mutex.lock sink_mutex;
+  let evs = List.rev !g_events in
+  Mutex.unlock sink_mutex;
+  (* Stable sort by track keeps each track's chronological record order;
+     clamp timestamps monotone per track (gettimeofday can step back). *)
+  let evs =
+    List.stable_sort (fun (a : event) (b : event) -> Int.compare a.tid b.tid) evs
+  in
+  let last = Hashtbl.create 8 in
+  List.map
+    (fun (ev : event) ->
+      let floor = Option.value ~default:neg_infinity (Hashtbl.find_opt last ev.tid) in
+      let ts = if ev.ts_us < floor then floor else ev.ts_us in
+      Hashtbl.replace last ev.tid ts;
+      if ts = ev.ts_us then ev else { ev with ts_us = ts })
+    evs
+
+let trace_track_names () =
+  Mutex.lock sink_mutex;
+  let l = Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) track_names [] in
+  Mutex.unlock sink_mutex;
+  List.sort compare l
+
 let flush_domain () =
+  flush_trace_domain ();
   let b = Domain.DLS.get buf_key in
   if b.dirty then begin
     Mutex.lock sink_mutex;
@@ -136,7 +395,7 @@ let flush_domain () =
     b.dirty <- false
   end
 
-let reset () =
+let reset_stats () =
   let b = Domain.DLS.get buf_key in
   Array.fill b.counts 0 (Array.length b.counts) 0;
   Array.fill b.hits 0 (Array.length b.hits) 0;
@@ -148,9 +407,15 @@ let reset () =
   Array.fill !g_secs 0 (Array.length !g_secs) 0.;
   Mutex.unlock sink_mutex
 
+(* Counters, spans, AND trace events: a reset between bench points makes
+   every per-point snapshot (and trace file) self-contained. *)
+let reset () =
+  reset_stats ();
+  trace_reset ()
+
 let set_enabled on =
   if on then begin
-    reset ();
+    reset_stats ();
     Atomic.set enabled_flag true
   end
   else Atomic.set enabled_flag false
@@ -265,3 +530,67 @@ let to_json s =
     s.spans;
   Buffer.add_string b "}}";
   Buffer.contents b
+
+(* --- trace export -------------------------------------------------------- *)
+
+(* Argument values that parse as numbers are emitted as JSON numbers, the
+   rest as strings. *)
+let arg_value v =
+  match float_of_string_opt v with
+  | Some _ -> v
+  | None -> Printf.sprintf "\"%s\"" (json_escape v)
+
+let add_args b = function
+  | [] -> ()
+  | args ->
+    Buffer.add_string b ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\": %s" (json_escape k) (arg_value v)))
+      args;
+    Buffer.add_char b '}'
+
+let trace_to_json ?events () =
+  let events = match events with Some e -> e | None -> trace_events () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b "\n  "
+  in
+  (* Track-name metadata events first (ts 0, ignored by the timeline). *)
+  List.iter
+    (fun (tid, name) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}}"
+           tid (json_escape name)))
+    (trace_track_names ());
+  List.iter
+    (fun ev ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 0, \
+            \"tid\": %d"
+           (json_escape ev.ev_name) ev.ph ev.ts_us ev.tid);
+      add_args b ev.ev_args;
+      Buffer.add_char b '}')
+    events;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": \
+        %d}}\n"
+       (trace_dropped ()));
+  Buffer.contents b
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (trace_to_json ()))

@@ -36,9 +36,10 @@ val enabled : unit -> bool
     {!reset}); [set_enabled false] restores the no-op sink. *)
 val set_enabled : bool -> unit
 
-(** Zero every counter and span in the sink and in the calling domain's
-    buffer.  Other domains' buffers are assumed flushed (the pool
-    flushes after every task). *)
+(** Zero every counter, span, and trace event in the sink and in the
+    calling domain's buffers.  Other domains' buffers are assumed flushed
+    (the pool flushes after every task).  A reset between benchmark points
+    makes every per-point snapshot and trace file self-contained. *)
 val reset : unit -> unit
 
 (** [add c n] bumps [c] by [n ≥ 0] in the calling domain's buffer.
@@ -85,3 +86,78 @@ val pp : Format.formatter -> snapshot -> unit
 (** [{"counters": {name: int, …}, "spans": {name: {"count": int,
     "total_s": float}, …}}] — names are JSON-escaped. *)
 val to_json : snapshot -> string
+
+(** {1 Trace-event timeline}
+
+    A second, independent recording channel: timestamped begin/end and
+    instant events on one track per domain, exported as Chrome
+    trace-event JSON (loadable in Perfetto or [chrome://tracing]).
+
+    Events land in a per-domain ring buffer (no locks on the record
+    path) and drain into the global sink at the same flush points as the
+    counters.  The ring has a fixed capacity and {e drops} new events on
+    overflow (counted, see {!trace_dropped}) instead of overwriting —
+    and every recorded ['B'] reserves the slot for its ['E'], so a
+    matched pair can never be split by a full buffer. *)
+
+(** One trace event.  [ph] is ['B'] (begin), ['E'] (end) or ['i']
+    (instant); [ts_us] is microseconds since the process-wide trace
+    origin; [tid] the recording domain's dense track id. *)
+type event = {
+  ev_name : string;
+  ph : char;
+  ts_us : float;
+  tid : int;
+  ev_args : (string * string) list;
+}
+
+(** Whether the trace recorder is on — independent of {!enabled}. *)
+val trace_enabled : unit -> bool
+
+(** [set_trace_enabled true] clears the event sink and starts recording;
+    [false] stops it (recorded events stay readable). *)
+val set_trace_enabled : bool -> unit
+
+(** Per-domain ring capacity (default [65536] events).  Takes effect for
+    a domain when its ring is next empty; set it before enabling.
+    Raises [Invalid_argument] below 8. *)
+val set_trace_capacity : int -> unit
+
+(** [trace_begin name] opens a duration event on the calling domain's
+    track.  Must be balanced by {!trace_end}; prefer
+    {!with_span_traced}. *)
+val trace_begin : ?args:(string * string) list -> string -> unit
+
+(** [trace_end name] closes the innermost open duration event.  [args]
+    values that parse as numbers are exported as JSON numbers. *)
+val trace_end : ?args:(string * string) list -> string -> unit
+
+val trace_instant : ?args:(string * string) list -> string -> unit
+
+(** [with_span_traced s f] is {!with_span} plus a trace duration event
+    named after the span, with the phase's [Gc.quick_stat] deltas
+    (minor/major words and collections) attached as event args.  The
+    outermost traced span on each domain also publishes the deltas as
+    [gc.*] counters. *)
+val with_span_traced : span -> (unit -> 'a) -> 'a
+
+(** Name the calling domain's track in the exported trace (thread_name
+    metadata).  The main domain is pre-named ["main"]. *)
+val set_track_name : string -> unit
+
+(** Events dropped to full ring buffers since the last reset (global
+    sink plus the calling domain). *)
+val trace_dropped : unit -> int
+
+(** [trace_events ()] flushes the calling domain and returns every
+    recorded event, grouped by track, chronological (timestamps clamped
+    monotone) within each track. *)
+val trace_events : unit -> event list
+
+(** Chrome trace-event JSON: [{"traceEvents": [...], ...}] with one
+    [thread_name] metadata record per named track and the drop counter
+    in [otherData].  Uses {!trace_events} when [events] is omitted. *)
+val trace_to_json : ?events:event list -> unit -> string
+
+(** [write_trace path] writes {!trace_to_json} to [path]. *)
+val write_trace : string -> unit

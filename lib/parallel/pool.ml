@@ -55,6 +55,7 @@ let create ?size () =
           let span = Obs.span (Printf.sprintf "pool.worker%d.busy" i) in
           Domain.spawn (fun () ->
               Domain.DLS.set worker_span (Some span);
+              Obs.set_track_name (Printf.sprintf "worker%d" i);
               worker pool));
   pool
 
@@ -92,7 +93,19 @@ let map ?pool f xs =
       let remaining = Atomic.make n in
       let done_mutex = Mutex.create () in
       let all_done = Condition.create () in
+      let submit_ts = if Obs.trace_enabled () then Obs.now () else 0. in
       let run i () =
+        let tracing = Obs.trace_enabled () in
+        (* Queueing delay: submit → start, on the worker's own track. *)
+        if tracing then
+          Obs.trace_begin
+            ~args:
+              [
+                ("index", string_of_int i);
+                ( "queue_us",
+                  Printf.sprintf "%.1f" ((Obs.now () -. submit_ts) *. 1e6) );
+              ]
+            "pool.task";
         let t0 = if Obs.enabled () then Obs.now () else 0. in
         let r = try Ok (f arr.(i)) with e -> Error e in
         (* Account and merge this domain's observations before the task is
@@ -102,9 +115,10 @@ let map ?pool f xs =
           (match Domain.DLS.get worker_span with
            | Some span -> Obs.record_span span (Obs.now () -. t0)
            | None -> ());
-          Obs.incr c_tasks;
-          Obs.flush_domain ()
+          Obs.incr c_tasks
         end;
+        if tracing then Obs.trace_end "pool.task";
+        if Obs.enabled () || tracing then Obs.flush_domain ();
         results.(i) <- Some r;
         (* The decrement happens-before the broadcast; a waiter holding
            [done_mutex] either observes zero or is woken by it. *)

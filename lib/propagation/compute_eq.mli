@@ -13,6 +13,10 @@ open Relational
 type eq_class = {
   attrs : string list;  (** members, sorted *)
   key : Value.t option;  (** the constant all members equal, if known *)
+  contributors : Cfds.Cfd.t list;
+      (** the CFDs (of the already-renamed [sigma]) whose firings shaped
+          this class, sorted and deduplicated — the class's why-provenance.
+          Empty when the class follows from the selection condition alone. *)
 }
 
 type t =
@@ -42,7 +46,9 @@ val representatives :
 (** [EQ2CFD] (Fig. 4): convert the classes, restricted to the view
     attributes [y], into view CFDs on relation [view]: a keyed class yields
     [A → A, (_ ‖ key)] for each member; an unkeyed class yields the
-    attribute-equality CFDs [(A → B, (x ‖ x))]. *)
+    attribute-equality CFDs [(A → B, (x ‖ x))].  When {!Provenance}
+    recording is on, each emitted CFD is recorded with its class's
+    contributors as parents. *)
 val to_cfds : view:string -> y:string list -> eq_class list -> Cfds.Cfd.t list
 
 val pp : t Fmt.t

@@ -187,7 +187,7 @@ let cells_equal u i j =
    whole merged class is marked.  A union of two classes already bound to
    the same constant changes nothing observable ([cells_equal] and Const
    checks were already true via the constants) and marks nothing. *)
-let chase ?mask compiled u rows =
+let chase ?mask ?fired compiled u rows =
   let n = compiled.arity in
   let enabled =
     match mask with None -> fun _ -> true | Some m -> fun i -> mask_mem m i
@@ -305,6 +305,8 @@ let chase ?mask compiled u rows =
   (* Seed the worklist: positions of every cell the caller's setup already
      constrained (shared class or bound constant).  Members of nontrivial
      classes all get scanned, so all their positions are marked. *)
+  let tracing = Obs.trace_enabled () in
+  if tracing then Obs.trace_begin "fast_impl.chase";
   let publish () =
     if Obs.enabled () then begin
       Obs.incr c_chases;
@@ -312,7 +314,35 @@ let chase ?mask compiled u rows =
       Obs.add c_rule_apps !rule_apps;
       Obs.add c_firings !firings;
       Obs.add c_mask_skips !mask_skips
-    end
+    end;
+    if tracing then
+      Obs.trace_end
+        ~args:
+          [
+            ("rounds", string_of_int !rounds);
+            ("rule_applications", string_of_int !rule_apps);
+            ("firings", string_of_int !firings);
+          ]
+        "fast_impl.chase"
+  in
+  (* Witness collection for provenance: a rule index is marked as soon as
+     one of its applications changes the chase state (or conflicts) — the
+     marked subset alone replays the same chase, so it implies the same
+     conclusion.  The [None] variant is the untouched hot path: no
+     per-application exception trap, no marking branch. *)
+  let apply =
+    match fired with
+    | None ->
+      fun idx ->
+        if enabled idx then ignore (apply_rule compiled.rules.(idx) false)
+    | Some b ->
+      fun idx ->
+        if enabled idx then (
+          match apply_rule compiled.rules.(idx) false with
+          | changed -> if changed then Bytes.set b idx '\001'
+          | exception Conflict ->
+            Bytes.set b idx '\001';
+            raise Conflict)
   in
   Fun.protect ~finally:publish (fun () ->
       Array.iteri
@@ -321,18 +351,12 @@ let chase ?mask compiled u rows =
           if r <> c || u.const.(r) <> None then mark_pos (c mod n))
         u.parent;
       incr rounds;
-      List.iter
-        (fun idx ->
-          if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
-        compiled.autonomous;
+      List.iter apply compiled.autonomous;
       while not (Queue.is_empty queue) do
         let p = Queue.pop queue in
         dirty.(p) <- false;
         incr rounds;
-        List.iter
-          (fun idx ->
-            if enabled idx then ignore (apply_rule compiled.rules.(idx) false))
-          compiled.watchers.(p)
+        List.iter apply compiled.watchers.(p)
       done)
 
 (* Safe RHS: the term respects the pattern binding in every realisation. *)
@@ -343,15 +367,15 @@ let rhs_safe u cell = function
      | Some w -> Value.equal v w
      | None -> false)
 
-let implies_attr_eq ?mask compiled a b =
+let implies_attr_eq ?mask ?fired compiled a b =
   let pos x = Schema.attr_index compiled.schema x in
   let u = uf_create compiled.arity in
   try
-    chase ?mask compiled u [ 0 ];
+    chase ?mask ?fired compiled u [ 0 ];
     cells_equal u (pos a) (pos b)
   with Conflict -> true
 
-let implies_standard ?mask compiled phi =
+let implies_standard ?mask ?fired compiled phi =
   let pos x = Schema.attr_index compiled.schema x in
   let n = compiled.arity in
   let rhs_pos = pos (fst phi.C.rhs) in
@@ -369,7 +393,7 @@ let implies_standard ?mask compiled phi =
             ignore (bind u (n + i) v)
           | Wild -> ignore (union u i (n + i)))
         phi.C.lhs;
-      chase ?mask compiled u [ 0; n ];
+      chase ?mask ?fired compiled u [ 0; n ];
       cells_equal u rhs_pos (n + rhs_pos) && rhs_safe u rhs_pos rhs
     with Conflict -> true
   in
@@ -387,15 +411,15 @@ let implies_standard ?mask compiled phi =
            | Const v -> ignore (bind u (pos a) v)
            | Wild -> ())
          phi.C.lhs;
-       chase ?mask compiled u [ 0 ];
+       chase ?mask ?fired compiled u [ 0 ];
        rhs_safe u rhs_pos rhs
      with Conflict -> true)
 
-let implies ?mask compiled phi =
+let implies ?mask ?fired compiled phi =
   C.is_trivial phi
   ||
   if C.is_attr_eq phi then
     match phi.C.lhs, phi.C.rhs with
-    | [ (a, _) ], (b, _) -> implies_attr_eq ?mask compiled a b
+    | [ (a, _) ], (b, _) -> implies_attr_eq ?mask ?fired compiled a b
     | _ -> assert false
-  else implies_standard ?mask compiled phi
+  else implies_standard ?mask ?fired compiled phi

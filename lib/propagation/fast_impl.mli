@@ -44,7 +44,13 @@ val mask_set : mask -> int -> unit
 (** Is rule [i] enabled? *)
 val mask_mem : mask -> int -> bool
 
-(** [implies ?mask compiled phi] decides [Σ' |= φ] where [Σ'] is the set of
-    mask-enabled rules ([Σ] itself when [mask] is omitted), in the
-    infinite-domain setting. *)
-val implies : ?mask:mask -> compiled -> Cfds.Cfd.t -> bool
+(** [implies ?mask ?fired compiled phi] decides [Σ' |= φ] where [Σ'] is the
+    set of mask-enabled rules ([Σ] itself when [mask] is omitted), in the
+    infinite-domain setting.
+
+    When [fired] is given (a buffer of [num_rules] bytes), every rule whose
+    application changed the chase state (or raised the conflict) has its
+    byte set to ['\001'].  The marked subset is a sound implication witness:
+    replaying only the marked rules reproduces the same chase, so when the
+    check returns [true], the marked rules alone already imply [phi]. *)
+val implies : ?mask:mask -> ?fired:Bytes.t -> compiled -> Cfds.Cfd.t -> bool

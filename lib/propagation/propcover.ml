@@ -51,7 +51,14 @@ let rename_sources (v : Spc.t) sigma =
       sigma
       |> List.filter (fun c -> String.equal c.C.rel a.Spc.base)
       |> List.filter_map (fun c ->
-             Option.map (fun c -> C.with_rel c v.Spc.name) (C.rename_attrs c map)))
+             match C.rename_attrs c map with
+             | None -> None
+             | Some c' ->
+               let c' = C.with_rel c' v.Spc.name in
+               Provenance.record c'
+                 (Provenance.Renamed ("view atom " ^ a.Spc.base))
+                 [ c ];
+               Some c'))
     v.Spc.atoms
 
 (* The cover of Lemma 4.5: two conflicting constant CFDs on some view
@@ -91,7 +98,7 @@ let normalise_const_form c =
   else c
 
 let cover ?(options = default_options) (v : Spc.t) sigma =
-  Obs.with_span s_cover @@ fun () ->
+  Obs.with_span_traced s_cover @@ fun () ->
   Obs.incr c_covers;
   List.iter
     (fun c ->
@@ -99,21 +106,23 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
         invalid_arg
           (Printf.sprintf "Propcover: CFD on unknown source relation %s" c.C.rel))
     sigma;
+  (* The given Σ are the leaves every derivation must bottom out in. *)
+  Provenance.record_axioms sigma;
   let y = v.Spc.projection in
   let view_schema = Spc.view_schema v in
   (* Line 1: Σ := MinCover(Σ). *)
   let sigma =
     if options.skip_initial_mincover then sigma
     else
-      Obs.with_span s_initial_mincover (fun () ->
+      Obs.with_span_traced s_initial_mincover (fun () ->
           Mincover.minimal_cover_db v.Spc.source sigma)
   in
   (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
-  let sigma_v = Obs.with_span s_rename (fun () -> rename_sources v sigma) in
+  let sigma_v = Obs.with_span_traced s_rename (fun () -> rename_sources v sigma) in
   (* Line 2: EQ := ComputeEQ. *)
   let body = Spc.body_attrs v in
   match
-    Obs.with_span s_compute_eq (fun () ->
+    Obs.with_span_traced s_compute_eq (fun () ->
         Compute_eq.compute ~body ~selection:v.Spc.selection ~sigma:sigma_v)
   with
   | Compute_eq.Bottom ->
@@ -121,22 +130,46 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
   | Compute_eq.Classes classes ->
     (* Lines 7-10: representative substitution; keep Y members as reps. *)
     let rep_map = Compute_eq.representatives classes ~prefer:y in
-    let sigma_v =
-      List.filter_map (fun c -> C.rename_attrs c rep_map) sigma_v
-    in
-    (* Key CFDs (∅ → rep, (‖ key)) let RBR resolve away keyed attributes
-       that are not projected (Lemma 4.3 / domain constraints as CFDs). *)
     let rep_of a =
       match List.assoc_opt a rep_map with Some r -> r | None -> a
     in
+    (* The substitution is justified by the classes that merged each
+       renamed attribute with its representative — their contributors are
+       extra provenance parents beside the CFD itself. *)
+    let sigma_v =
+      List.filter_map
+        (fun c ->
+          match C.rename_attrs c rep_map with
+          | None -> None
+          | Some c' ->
+            if Provenance.enabled () then begin
+              let deps =
+                C.attrs c
+                |> List.filter (fun a -> not (String.equal (rep_of a) a))
+                |> List.concat_map (fun a ->
+                       match Compute_eq.class_of classes a with
+                       | Some cl -> cl.Compute_eq.contributors
+                       | None -> [])
+              in
+              Provenance.record c' (Provenance.Renamed "representative")
+                (c :: deps)
+            end;
+            Some c')
+        sigma_v
+    in
+    (* Key CFDs (∅ → rep, (‖ key)) let RBR resolve away keyed attributes
+       that are not projected (Lemma 4.3 / domain constraints as CFDs). *)
     let key_cfds =
       List.filter_map
         (fun (cl : Compute_eq.eq_class) ->
           match cl.Compute_eq.key with
           | Some value ->
-            Some
-              (C.make v.Spc.name []
-                 (rep_of (List.hd cl.Compute_eq.attrs), P.Const value))
+            let kc =
+              C.make v.Spc.name []
+                (rep_of (List.hd cl.Compute_eq.attrs), P.Const value)
+            in
+            Provenance.record kc Provenance.Eq_class cl.Compute_eq.contributors;
+            Some kc
           | None -> None)
         classes
     in
@@ -161,27 +194,35 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
       Option.map (fun chunk -> (pseudo_schema, chunk)) options.prune_chunk
     in
     let sigma_c, completeness =
-      Obs.with_span s_rbr (fun () ->
+      Obs.with_span_traced s_rbr (fun () ->
           Rbr.reduce ?prune ?pool:options.pool
             ?max_size:options.max_intermediate ~order:options.rbr_order sigma_v
             ~drop_attrs)
     in
     (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)
     let sigma_d =
-      Obs.with_span s_eq2cfd (fun () ->
+      Obs.with_span_traced s_eq2cfd (fun () ->
           Compute_eq.to_cfds ~view:v.Spc.name ~y classes)
     in
     let rc_cfds =
       List.map
-        (fun (a, value) -> C.const_binding v.Spc.name (Attribute.name a) value)
+        (fun (a, value) ->
+          let c = C.const_binding v.Spc.name (Attribute.name a) value in
+          Provenance.record c Provenance.Rc_constant [];
+          c)
         v.Spc.constants
     in
     (* Line 13: a minimal cover of everything, over the view schema. *)
     let all =
-      List.map normalise_const_form (sigma_c @ sigma_d @ rc_cfds)
+      List.map
+        (fun c ->
+          let c' = normalise_const_form c in
+          Provenance.alias c' Provenance.Normalised c;
+          c')
+        (sigma_c @ sigma_d @ rc_cfds)
     in
     let cover =
-      Obs.with_span s_final_mincover (fun () ->
+      Obs.with_span_traced s_final_mincover (fun () ->
           Mincover.minimal_cover view_schema all)
     in
     Obs.add c_cover_size (List.length cover);
@@ -231,7 +272,15 @@ let cover_spcu ?(options = default_options) (view : Spcu.t) sigma =
           if r.always_empty then []
           else
             r.cover
-            @ List.filter_map (fun phi -> condition_on_constants b phi) r.cover)
+            @ List.filter_map
+                (fun phi ->
+                  match condition_on_constants b phi with
+                  | None -> None
+                  | Some phi' ->
+                    Provenance.record phi'
+                      (Provenance.Conditioned b.Spc.name) [ phi ];
+                    Some phi')
+                r.cover)
         branch_results
     in
     let candidates = List.sort_uniq C.compare (List.map C.canonical candidates) in

@@ -1,0 +1,258 @@
+module C = Cfds.Cfd
+
+type rule =
+  | Axiom
+  | Renamed of string
+  | Normalised
+  | Resolvent of string
+  | Eq_class
+  | Rc_constant
+  | Lhs_reduced
+  | Conditioned of string
+
+type node = { id : int; cfd : C.t; rule : rule; parents : int list }
+
+(* --- the arena ----------------------------------------------------------- *)
+
+(* One global arena, mirroring [Obs]: an atomic enabled flag guards every
+   record site, so the disabled hot path pays one load and branch.  Nodes
+   are immutable; the arena only ever appends.  CFDs are interned (keyed by
+   their canonical form) to dense node ids; a CFD derived more than once
+   keeps its first derivation, so parent ids are always strictly smaller
+   than the child's and the structure is a DAG by construction.  A mutex
+   serialises writers (the partitioned MinCover prune records from pool
+   workers). *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let mutex = Mutex.create ()
+let nodes : node array ref = ref [||]
+let n_nodes = ref 0
+let index : (C.t, int) Hashtbl.t = Hashtbl.create 256
+
+let reset () =
+  Mutex.lock mutex;
+  nodes := [||];
+  n_nodes := 0;
+  Hashtbl.reset index;
+  Mutex.unlock mutex
+
+let set_enabled on =
+  if on then begin
+    reset ();
+    Atomic.set enabled_flag true
+  end
+  else Atomic.set enabled_flag false
+
+(* Callers hold [mutex]. *)
+let alloc_locked cfd rule parents =
+  let id = !n_nodes in
+  if id >= Array.length !nodes then begin
+    let a =
+      Array.make
+        (max 256 (2 * Array.length !nodes))
+        { id = 0; cfd; rule = Axiom; parents = [] }
+    in
+    Array.blit !nodes 0 a 0 id;
+    nodes := a
+  end;
+  !nodes.(id) <- { id; cfd; rule; parents };
+  n_nodes := id + 1;
+  Hashtbl.replace index cfd id;
+  id
+
+let intern_locked cfd =
+  match Hashtbl.find_opt index cfd with
+  | Some id -> id
+  | None -> alloc_locked cfd Axiom []
+
+let record cfd rule parents =
+  if Atomic.get enabled_flag then begin
+    let cfd = C.canonical cfd in
+    Mutex.lock mutex;
+    (* Parents first: their ids end up strictly below the child's. *)
+    let pids = List.map (fun p -> intern_locked (C.canonical p)) parents in
+    if not (Hashtbl.mem index cfd) then ignore (alloc_locked cfd rule pids);
+    Mutex.unlock mutex
+  end
+
+let record_axiom cfd = record cfd Axiom []
+let record_axioms cfds = List.iter record_axiom cfds
+
+(* [alias child rule parent]: a unary rewriting step (renaming,
+   normalisation); skipped when the rewrite was the identity. *)
+let alias child rule parent =
+  if Atomic.get enabled_flag && C.compare (C.canonical child) (C.canonical parent) <> 0
+  then record child rule [ parent ]
+
+(* --- queries ------------------------------------------------------------- *)
+
+let size () =
+  Mutex.lock mutex;
+  let n = !n_nodes in
+  Mutex.unlock mutex;
+  n
+
+let find cfd =
+  Mutex.lock mutex;
+  let r =
+    Option.map (fun id -> !nodes.(id)) (Hashtbl.find_opt index (C.canonical cfd))
+  in
+  Mutex.unlock mutex;
+  r
+
+let node id =
+  Mutex.lock mutex;
+  if id < 0 || id >= !n_nodes then begin
+    Mutex.unlock mutex;
+    invalid_arg "Provenance.node"
+  end
+  else begin
+    let n = !nodes.(id) in
+    Mutex.unlock mutex;
+    n
+  end
+
+(* Saturating addition: derivation-path counts can explode combinatorially
+   on deep DAGs, and a multiset multiplicity only needs to stay ordered. *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let sources cfd =
+  match find cfd with
+  | None -> []
+  | Some root ->
+    (* Memoised DAG walk: per node, the multiset of Axiom leaves below it
+       (as [id -> path count]). *)
+    let memo : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let rec leaves id =
+      match Hashtbl.find_opt memo id with
+      | Some m -> m
+      | None ->
+        let n = node id in
+        let m = Hashtbl.create 8 in
+        (match n.rule, n.parents with
+         | Axiom, _ -> Hashtbl.replace m id 1
+         | _, [] -> () (* a view-definition fact: no Σ leaves below *)
+         | _, ps ->
+           List.iter
+             (fun p ->
+               Hashtbl.iter
+                 (fun leaf c ->
+                   let prev = Option.value ~default:0 (Hashtbl.find_opt m leaf) in
+                   Hashtbl.replace m leaf (sat_add prev c))
+                 (leaves p))
+             ps);
+        Hashtbl.replace memo id m;
+        m
+    in
+    Hashtbl.fold
+      (fun leaf count acc -> ((node leaf).cfd, count) :: acc)
+      (leaves root.id) []
+    |> List.sort (fun (a, _) (b, _) -> C.compare a b)
+
+let rule_label = function
+  | Axiom -> "source"
+  | Renamed via -> Printf.sprintf "renamed (%s)" via
+  | Normalised -> "normalised"
+  | Resolvent a -> Printf.sprintf "resolvent on %s" a
+  | Eq_class -> "equivalence class (ComputeEQ)"
+  | Rc_constant -> "view constant"
+  | Lhs_reduced -> "LHS reduction (MinCover)"
+  | Conditioned b -> Printf.sprintf "conditioned on branch %s" b
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let default_pp_cfd = C.pp
+
+let pp_tree ?(pp_cfd = default_pp_cfd) ?(max_lines = 200) ppf cfd =
+  match find cfd with
+  | None -> Fmt.pf ppf "%a  [no recorded derivation]@." pp_cfd cfd
+  | Some root ->
+    let budget = ref max_lines in
+    (* The DAG is re-expanded as a tree; shared subtrees print in full
+       (they are small in practice) under a global line budget. *)
+    let rec go prefix child_prefix n =
+      if !budget <= 0 then ()
+      else begin
+        decr budget;
+        if !budget = 0 then Fmt.pf ppf "%s...@." prefix
+        else begin
+          Fmt.pf ppf "%s%a  [%s]@." prefix pp_cfd n.cfd (rule_label n.rule);
+          let ps = n.parents in
+          let last = List.length ps - 1 in
+          List.iteri
+            (fun i p ->
+              let tee, pad =
+                if i = last then ("`- ", "   ") else ("|- ", "|  ")
+              in
+              go (child_prefix ^ tee) (child_prefix ^ pad) (node p))
+            ps
+        end
+      end
+    in
+    go "" "" root
+
+(* JSON: the reachable sub-DAG of the given roots plus, per root, its node
+   id and source multiset. *)
+let to_json ?(pp_cfd = default_pp_cfd) roots =
+  let b = Buffer.create 1024 in
+  let escape s =
+    let eb = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string eb "\\\""
+        | '\\' -> Buffer.add_string eb "\\\\"
+        | '\n' -> Buffer.add_string eb "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string eb (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char eb c)
+      s;
+    Buffer.contents eb
+  in
+  let cfd_str c = escape (Fmt.str "%a" pp_cfd c) in
+  let reachable = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem reachable id) then begin
+      Hashtbl.replace reachable id ();
+      List.iter visit (node id).parents
+    end
+  in
+  let root_nodes = List.map find roots in
+  List.iter (function Some n -> visit n.id | None -> ()) root_nodes;
+  Buffer.add_string b "{\"cover\": [";
+  List.iteri
+    (fun i (cfd, n) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n    ";
+      match n with
+      | None -> Buffer.add_string b (Printf.sprintf "{\"cfd\": \"%s\"}" (cfd_str cfd))
+      | Some (n : node) ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"cfd\": \"%s\", \"node\": %d, \"sources\": ["
+             (cfd_str cfd) n.id);
+        List.iteri
+          (fun j (src, count) ->
+            if j > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b
+              (Printf.sprintf "{\"cfd\": \"%s\", \"count\": %d}" (cfd_str src)
+                 count))
+          (sources cfd);
+        Buffer.add_string b "]}")
+    (List.combine roots root_nodes);
+  Buffer.add_string b "\n  ], \"nodes\": [";
+  let ids = List.sort Int.compare (Hashtbl.fold (fun id () acc -> id :: acc) reachable []) in
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_string b ",";
+      let n = node id in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"id\": %d, \"cfd\": \"%s\", \"rule\": \"%s\", \"parents\": [%s]}"
+           n.id (cfd_str n.cfd)
+           (escape (rule_label n.rule))
+           (String.concat ", " (List.map string_of_int n.parents))))
+    ids;
+  Buffer.add_string b "\n  ]}\n";
+  Buffer.contents b

@@ -1,0 +1,94 @@
+(** Why-provenance for the propagation cover: a global arena of immutable
+    derivation nodes recording {e how} every CFD flowing through
+    [PropCFD_SPC] was obtained, so each member of the final cover maps
+    back to the multiset of source CFDs (members of Σ) it was derived
+    from.
+
+    Recording is off by default and guarded by one atomic flag — every
+    instrumentation site in the pipeline ({!Rbr} resolvents, {!Compute_eq}
+    classes, {!Mincover} LHS reductions, the renaming/normalisation steps
+    of {!Propcover}) pays a single load-and-branch when disabled, and the
+    covers computed are identical either way (checked by the transparency
+    property in the test suite).
+
+    CFDs are interned by canonical form: a CFD derived more than once
+    keeps its {e first} derivation, parents are interned before children,
+    and node ids strictly decrease from child to parent — the arena is a
+    DAG by construction.  Writers are serialised by a mutex (the
+    partitioned prune records from pool workers). *)
+
+(** How a node's CFD was obtained from its parents. *)
+type rule =
+  | Axiom  (** a member of the original Σ (or an externally given CFD) *)
+  | Renamed of string
+      (** attribute/relation renaming; the payload says which step
+          (view atom, equivalence representative, re-homing) *)
+  | Normalised  (** [strip_redundant_wildcards] / constant-form rewrite *)
+  | Resolvent of string  (** RBR resolvent on the named dropped attribute *)
+  | Eq_class
+      (** emitted from a ComputeEQ equivalence class (EQ2CFD output or
+          key CFD); parents are the class's contributing CFDs *)
+  | Rc_constant  (** a constant column of the view — no CFD parents *)
+  | Lhs_reduced
+      (** MinCover LHS reduction; parents are the original CFD plus the
+          implication witness (the rules that fired in the chase) *)
+  | Conditioned of string  (** SPCU branch-constant conditioning *)
+
+type node = { id : int; cfd : Cfds.Cfd.t; rule : rule; parents : int list }
+
+(** The recording guard — the hot-path check. *)
+val enabled : unit -> bool
+
+(** [set_enabled true] clears the arena and starts recording. *)
+val set_enabled : bool -> unit
+
+(** Drop every node. *)
+val reset : unit -> unit
+
+(** [record cfd rule parents] interns a derivation: no-op when disabled
+    or when [cfd] already has a node (first derivation wins).  Parents
+    without a node yet are interned as {!Axiom} leaves. *)
+val record : Cfds.Cfd.t -> rule -> Cfds.Cfd.t list -> unit
+
+(** [record_axiom cfd] marks a CFD as a leaf (a member of Σ). *)
+val record_axiom : Cfds.Cfd.t -> unit
+
+val record_axioms : Cfds.Cfd.t list -> unit
+
+(** [alias child rule parent] records a unary rewriting step, skipped
+    when [child] and [parent] are canonically equal. *)
+val alias : Cfds.Cfd.t -> rule -> Cfds.Cfd.t -> unit
+
+(** Number of nodes in the arena. *)
+val size : unit -> int
+
+(** The node of a CFD (looked up by canonical form). *)
+val find : Cfds.Cfd.t -> node option
+
+(** [node id] — raises [Invalid_argument] on unknown ids. *)
+val node : int -> node
+
+(** [sources cfd] is the multiset of {!Axiom} leaves below [cfd]'s node:
+    each source CFD with its number of derivation paths (saturating),
+    sorted.  Empty when the CFD has no node or descends only from
+    view-definition facts (selection/constants). *)
+val sources : Cfds.Cfd.t -> (Cfds.Cfd.t * int) list
+
+val rule_label : rule -> string
+
+(** [pp_tree ppf cfd] prints the derivation tree (the DAG re-expanded,
+    shared subtrees in full), one node per line as
+    ["<cfd>  [<rule>]"], children indented with box-drawing rails;
+    [max_lines] (default 200) bounds the output.  [pp_cfd] overrides the
+    CFD printer (e.g. the concrete-syntax one). *)
+val pp_tree :
+  ?pp_cfd:Cfds.Cfd.t Fmt.t ->
+  ?max_lines:int ->
+  Format.formatter ->
+  Cfds.Cfd.t ->
+  unit
+
+(** [to_json roots] renders the sub-DAG reachable from [roots]:
+    [{"cover": [{"cfd", "node", "sources": [{"cfd", "count"}]}],
+    "nodes": [{"id", "cfd", "rule", "parents"}]}]. *)
+val to_json : ?pp_cfd:Cfds.Cfd.t Fmt.t -> Cfds.Cfd.t list -> string

@@ -267,14 +267,36 @@ module Engine = struct
       let nodes tbl = Hashtbl.fold (fun _ n acc -> n :: acc) tbl [] in
       let producers = nodes eng.by_rhs.(a) in
       let consumers = nodes eng.by_lhs.(a) in
+      let tracing = Obs.trace_enabled () in
+      if tracing then Obs.trace_begin "rbr.drop";
+      let prov = Provenance.enabled () in
       let resolvents =
         List.concat_map
           (fun (p : node) ->
             List.filter_map
-              (fun (c : node) -> ic_resolvent p.ic c.ic ~on:a)
+              (fun (c : node) ->
+                match ic_resolvent p.ic c.ic ~on:a with
+                | None -> None
+                | Some r ->
+                  if prov then
+                    Provenance.record
+                      (of_icfd eng.interner r)
+                      (Provenance.Resolvent (I.name eng.interner a))
+                      [ of_icfd eng.interner p.ic; of_icfd eng.interner c.ic ];
+                  Some r)
               consumers)
           producers
       in
+      if tracing then
+        Obs.trace_end
+          ~args:
+            [
+              ("attr", I.name eng.interner a);
+              ("producers", string_of_int (List.length producers));
+              ("consumers", string_of_int (List.length consumers));
+              ("resolvents", string_of_int (List.length resolvents));
+            ]
+          "rbr.drop";
       Obs.incr c_attrs_dropped;
       Obs.add c_buckets (List.length producers + List.length consumers);
       Obs.add c_resolvents (List.length resolvents);
@@ -304,7 +326,14 @@ let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
   (* Constant-RHS CFDs shed their wildcard LHS attributes first: otherwise a
      projected-away wildcard attribute would drag an equivalent, still
      propagated CFD out of the cover. *)
-  let sigma = List.map C.strip_redundant_wildcards sigma in
+  let sigma =
+    List.map
+      (fun c ->
+        let c' = C.strip_redundant_wildcards c in
+        Provenance.alias c' Provenance.Normalised c;
+        c')
+      sigma
+  in
   let interner = I.create () in
   let drop_ids = List.map (I.intern interner) drop_attrs in
   let eng = ref (Engine.build interner sigma) in

@@ -9,12 +9,53 @@ propagation engine changed semantics, not just speed.
 
 Timings are environment-dependent and deliberately ignored.
 
-Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON]
+With --stats STATS_JSON, additionally validates the aggregated
+observability dump (bench/main.exe --stats-json): it must be
+well-formed JSON with a total counters section in which the pipeline's
+load-bearing counters — rbr.resolvents_generated and
+fast_impl.chase_rounds — are present and nonzero.  A zero there means
+the instrumented RBR/chase phases silently stopped running, which cover
+sizes alone would not reveal.
+
+Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON] [--stats STATS_JSON]
 Exit status: 0 = no drift, 1 = drift or malformed input.
 """
 
 import json
 import sys
+
+MANDATORY_COUNTERS = ("rbr.resolvents_generated", "fast_impl.chase_rounds")
+
+
+def check_stats(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"STATS GUARD FAILED: cannot parse {path}: {exc}", file=sys.stderr)
+        return False
+    counters = doc.get("total", {}).get("counters")
+    if not isinstance(counters, dict):
+        print(
+            f"STATS GUARD FAILED: {path} has no total.counters object",
+            file=sys.stderr,
+        )
+        return False
+    bad = []
+    for name in MANDATORY_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, int) or value <= 0:
+            bad.append(f"  {name}: expected a positive count, got {value!r}")
+    if bad:
+        print(
+            f"STATS GUARD FAILED: {path} — instrumented phases did not run",
+            file=sys.stderr,
+        )
+        print("\n".join(bad), file=sys.stderr)
+        return False
+    summary = ", ".join(f"{n}={counters[n]}" for n in MANDATORY_COUNTERS)
+    print(f"stats guard OK: {summary}")
+    return True
 
 
 def load_points(path):
@@ -29,11 +70,23 @@ def load_points(path):
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
+    argv = sys.argv[1:]
+    stats_path = None
+    if "--stats" in argv:
+        i = argv.index("--stats")
+        if i + 1 >= len(argv):
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        stats_path = argv[i + 1]
+        argv = argv[:i] + argv[i + 2 :]
+    if len(argv) not in (1, 2):
         print(__doc__.strip(), file=sys.stderr)
         return 1
-    smoke_path = sys.argv[1]
-    base_path = sys.argv[2] if len(sys.argv) == 3 else "BENCH_cover.json"
+    smoke_path = argv[0]
+    base_path = argv[1] if len(argv) == 2 else "BENCH_cover.json"
+
+    if stats_path is not None and not check_stats(stats_path):
+        return 1
 
     smoke_seeds, smoke = load_points(smoke_path)
     base_seeds, base = load_points(base_path)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Chrome trace-event schema guard.
+
+Validates a trace produced by `bench/main.exe --trace` (or
+`Obs.write_trace`) against the subset of the Chrome trace-event format
+the recorder emits, so Perfetto/chrome://tracing will load it:
+
+  * top level is an object with a "traceEvents" array;
+  * every event has string "name"/"ph" and integer "pid"/"tid";
+  * "ph" is one of B E i X M (durations, instants, complete, metadata);
+  * B/E/i/X events carry a numeric "ts";
+  * per (pid, tid) track: timestamps are non-decreasing, and B/E pairs
+    are properly matched and nested (every E closes the innermost open
+    B of the same name; nothing is left open at the end) — the ring
+    buffer reserves the E slot when it admits a B, so drops must never
+    split a pair.
+
+Usage: check_trace.py TRACE_JSON
+Exit status: 0 = valid, 1 = malformed.
+"""
+
+import json
+import sys
+
+ALLOWED_PH = {"B", "E", "i", "X", "M"}
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"TRACE GUARD FAILED: cannot parse {path}: {exc}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("TRACE GUARD FAILED: no traceEvents array", file=sys.stderr)
+        return 1
+
+    errors = []
+    last_ts = {}
+    stacks = {}
+    counts = {"B": 0, "E": 0, "i": 0, "X": 0, "M": 0}
+
+    for idx, ev in enumerate(events):
+        where = f"event #{idx}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name, ph = ev.get("name"), ev.get("ph")
+        if not isinstance(name, str) or not isinstance(ph, str):
+            errors.append(f"{where}: missing name/ph")
+            continue
+        where = f"event #{idx} ({ph} {name!r})"
+        if ph not in ALLOWED_PH:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+            continue
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata records are timeless
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+            continue
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            errors.append(
+                f"{where}: ts {ts} < previous {last_ts[track]} on track {track}"
+            )
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack or stack[-1] != name:
+                open_name = stack[-1] if stack else None
+                errors.append(
+                    f"{where}: E does not close innermost open B "
+                    f"({open_name!r}) on track {track}"
+                )
+            else:
+                stack.pop()
+
+    for track, stack in stacks.items():
+        if stack:
+            errors.append(f"track {track}: unclosed span(s) {stack}")
+
+    if errors:
+        print(f"TRACE GUARD FAILED: {path}", file=sys.stderr)
+        for e in errors[:20]:
+            print(f"  {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+
+    tracks = {(ev.get("pid"), ev.get("tid")) for ev in events if isinstance(ev, dict)}
+    print(
+        f"trace guard OK: {len(events)} event(s) "
+        f"(B={counts['B']} E={counts['E']} i={counts['i']} "
+        f"X={counts['X']} M={counts['M']}) on {len(tracks)} track(s), "
+        f"{doc.get('otherData', {}).get('dropped_events', 0)} dropped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

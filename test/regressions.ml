@@ -23,6 +23,8 @@ let checks =
     ( "engine.instrumentation_transparent",
       Test_engine.instrumentation_transparent );
     ("oracle.oracle_holds", Test_oracle.oracle_holds);
+    ("provenance.provenance_sound", Test_provenance.provenance_sound);
+    ("provenance.witness_replays", Test_provenance.witness_replays);
   ]
 
 let corpus =
@@ -34,6 +36,8 @@ let corpus =
     ("engine.pooled_prune_agrees", [ 0; 5; 1_000; 86_028; 750_000 ]);
     ("engine.instrumentation_transparent", [ 0; 11; 2_024; 500_500 ]);
     ("oracle.oracle_holds", [ 0; 3; 17; 404; 6_174; 271_828; 999_999 ]);
+    ("provenance.provenance_sound", [ 0; 9; 301; 28_657; 832_040 ]);
+    ("provenance.witness_replays", [ 0; 21; 1_729; 65_537; 987_654 ]);
   ]
 
 let replay name check seed () =

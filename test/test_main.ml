@@ -27,5 +27,7 @@ let () =
       ("engine", Test_engine.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
+      ("trace", Test_trace.suite);
+      ("provenance", Test_provenance.suite);
       ("regressions", Regressions.suite);
     ]
