@@ -198,6 +198,192 @@ let to_cfds ~view ~y classes =
         pairs members)
     classes
 
+(* --- the IR path --------------------------------------------------------- *)
+
+(* Same fixpoint as [compute], but over interned attribute ids: the
+   union-find is three flat arrays indexed by id instead of string-keyed
+   hash tables, and the contributor lists carry {!Ir.t} values for
+   [Provenance.record_ir]. *)
+
+type eq_class_ir = {
+  iattrs : int list;  (* members, sorted by id *)
+  ikey : Value.t option;
+  icontribs : Ir.t list;
+}
+
+type ir_result =
+  | Classes_ir of eq_class_ir list
+  | Bottom_ir
+
+module Ufi = struct
+  type t = {
+    parent : int array;
+    keys : Value.t option array;
+    contribs : Ir.t list array;
+  }
+
+  let create n =
+    {
+      parent = Array.init n (fun i -> i);
+      keys = Array.make n None;
+      contribs = Array.make n [];
+    }
+
+  let rec find t a =
+    let p = t.parent.(a) in
+    if p = a then a
+    else begin
+      let r = find t p in
+      t.parent.(a) <- r;
+      r
+    end
+
+  let key t a = t.keys.(find t a)
+
+  let set_key t a v =
+    let r = find t a in
+    match t.keys.(r) with
+    | Some w -> if not (Value.equal v w) then raise Inconsistent else false
+    | None ->
+      t.keys.(r) <- Some v;
+      true
+
+  let contributors t a = t.contribs.(find t a)
+
+  let add_contribs t a cs =
+    if cs <> [] then begin
+      let r = find t a in
+      t.contribs.(r) <- cs @ t.contribs.(r)
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then false
+    else begin
+      let ka = t.keys.(ra) and kb = t.keys.(rb) in
+      (match ka, kb with
+       | Some x, Some y when not (Value.equal x y) -> raise Inconsistent
+       | _ -> ());
+      t.parent.(rb) <- ra;
+      (match ka, kb with
+       | None, Some y -> t.keys.(ra) <- Some y
+       | _ -> ());
+      (match t.contribs.(rb) with
+       | [] -> ()
+       | cs ->
+         t.contribs.(rb) <- [];
+         add_contribs t ra cs);
+      true
+    end
+end
+
+let compute_ir ctx ~body ~selection ~sigma =
+  let uf = Ufi.create (Cfds.Interner.size (Ir.interner ctx)) in
+  let track = Provenance.enabled () in
+  try
+    (* Seed with the selection condition F (Lemma 4.2); selection attribute
+       names are body attributes, so interning here resolves existing
+       ids. *)
+    List.iter
+      (function
+        | Spc.Sel_eq (a, b) ->
+          ignore (Ufi.union uf (Ir.intern ctx a) (Ir.intern ctx b))
+        | Spc.Sel_const (a, v) -> ignore (Ufi.set_key uf (Ir.intern ctx a) v))
+      selection;
+    let fires ic =
+      (not (Ir.is_attr_eq ic))
+      && Array.for_all
+           (fun (a, p) ->
+             match Ufi.key uf a with
+             | None -> false
+             | Some v -> P.matches v p)
+           ic.Ir.lhs
+    in
+    let step () =
+      List.fold_left
+        (fun changed ic ->
+          if Ir.is_attr_eq ic then begin
+            let a = fst ic.Ir.lhs.(0) and b = fst ic.Ir.rhs in
+            if Ufi.union uf a b then begin
+              if track then Ufi.add_contribs uf a [ ic ];
+              true
+            end
+            else changed
+          end
+          else
+            match snd ic.Ir.rhs with
+            | P.Const v when fires ic ->
+              if Ufi.set_key uf (fst ic.Ir.rhs) v then begin
+                if track then begin
+                  let deps =
+                    Array.fold_left
+                      (fun acc (a, _) -> Ufi.contributors uf a @ acc)
+                      [] ic.Ir.lhs
+                  in
+                  Ufi.add_contribs uf (fst ic.Ir.rhs) (ic :: deps)
+                end;
+                true
+              end
+              else changed
+            | P.Const _ | P.Wild | P.Svar -> changed)
+        false sigma
+    in
+    let rec loop () = if step () then loop () in
+    loop ();
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let r = Ufi.find uf a in
+        Hashtbl.replace groups r
+          (a :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+      body;
+    let classes =
+      Hashtbl.fold
+        (fun r members acc ->
+          {
+            iattrs = List.sort Int.compare members;
+            ikey = uf.Ufi.keys.(r);
+            icontribs = List.sort_uniq Ir.compare (Ufi.contributors uf r);
+          }
+          :: acc)
+        groups []
+    in
+    Classes_ir (List.sort (fun a b -> compare a.iattrs b.iattrs) classes)
+  with Inconsistent -> Bottom_ir
+
+let class_of_ir classes a = List.find_opt (fun c -> List.mem a c.iattrs) classes
+
+let representatives_ir classes ~prefer =
+  List.concat_map
+    (fun c ->
+      let rep =
+        match List.find_opt prefer c.iattrs with
+        | Some a -> a
+        | None -> List.hd c.iattrs
+      in
+      List.map (fun a -> (a, rep)) c.iattrs)
+    classes
+
+let to_cfds_ir ctx ~view ~y classes =
+  let track = Provenance.enabled () in
+  List.concat_map
+    (fun c ->
+      let members = List.filter y c.iattrs in
+      let emit ic =
+        if track then Provenance.record_ir ctx ic Provenance.Eq_class c.icontribs;
+        ic
+      in
+      match c.ikey with
+      | Some v -> List.map (fun a -> emit (Ir.const_binding view a v)) members
+      | None ->
+        let rec pairs = function
+          | [] -> []
+          | a :: rest ->
+            List.map (fun b -> emit (Ir.attr_eq view a b)) rest @ pairs rest
+        in
+        pairs members)
+    classes
+
 let pp ppf = function
   | Bottom -> Fmt.string ppf "bottom"
   | Classes cs ->

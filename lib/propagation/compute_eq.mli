@@ -52,3 +52,42 @@ val representatives :
 val to_cfds : view:string -> y:string list -> eq_class list -> Cfds.Cfd.t list
 
 val pp : t Fmt.t
+
+(** {2 The IR path}
+
+    The same procedure over interned attribute ids and CFDs: flat-array
+    union-find, contributor lists as {!Ir.t}.  [Propcover.cover] runs this
+    variant; the AST one is kept for external callers and the unit
+    suite. *)
+
+type eq_class_ir = {
+  iattrs : int list;  (** members, sorted by id *)
+  ikey : Value.t option;
+  icontribs : Ir.t list;
+}
+
+type ir_result =
+  | Classes_ir of eq_class_ir list
+  | Bottom_ir
+
+(** [compute_ir ctx ~body ~selection ~sigma] — [body] are the interned
+    pre-projection attribute ids; [selection] names resolve to already
+    interned ids. *)
+val compute_ir :
+  Ir.ctx ->
+  body:int list ->
+  selection:Spc.sel list ->
+  sigma:Ir.t list ->
+  ir_result
+
+val class_of_ir : eq_class_ir list -> int -> eq_class_ir option
+
+(** [representatives_ir classes ~prefer] picks one representative per
+    class — the first member satisfying [prefer] (projection membership),
+    else the lowest id. *)
+val representatives_ir :
+  eq_class_ir list -> prefer:(int -> bool) -> (int * int) list
+
+(** [EQ2CFD] over the IR; [y] is projection membership. *)
+val to_cfds_ir :
+  Ir.ctx -> view:string -> y:(int -> bool) -> eq_class_ir list -> Ir.t list

@@ -5,6 +5,7 @@ module P = Cfds.Pattern
 (* Observability.  The chase is the engine's innermost hot loop, so it
    tallies into plain locals and publishes once per [chase] call — the
    disabled-sink cost is one branch at the end, not one per rule. *)
+let c_compiles = Obs.counter "fast_impl.compiles"
 let c_chases = Obs.counter "fast_impl.chases"
 let c_rounds = Obs.counter "fast_impl.chase_rounds"
 let c_rule_apps = Obs.counter "fast_impl.rule_applications"
@@ -33,7 +34,10 @@ type rule =
   | Attr_eq of int * int
 
 type compiled = {
-  schema : Schema.relation;
+  (* Position resolver for AST-level queries ([implies] on a [Cfds.Cfd.t]);
+     IR-compiled rule sets resolve positions through their {!Ir.space}
+     instead and never call it. *)
+  pos_of_name : string -> int;
   arity : int;
   rules : rule array;
   (* Semi-naive index: [watchers.(p)] lists the Standard rules whose premise
@@ -45,8 +49,9 @@ type compiled = {
      (their (t,t) premise is vacuously true).  Every other rule needs an
      equality or constant some earlier change must have produced, so the
      chase seeds its worklist from the caller's setup instead of a full pass
-     over the rule set. *)
-  autonomous : int list;
+     over the rule set.  Mutable: {!set_rule_ir} can only ever add entries
+     (LHS shrinking may make a rule autonomous, never the reverse). *)
+  mutable autonomous : int list;
 }
 
 let compile_pat = function
@@ -54,38 +59,17 @@ let compile_pat = function
   | P.Const v -> Const v
   | P.Svar -> invalid_arg "Fast_impl: loose Svar pattern"
 
-let compile schema sigma =
-  let pos a = Schema.attr_index schema a in
-  let maskable = Schema.arity schema <= Sys.int_size - 2 in
-  let rule c =
-    if C.is_attr_eq c then
-      match c.C.lhs, c.C.rhs with
-      | [ (a, _) ], (b, _) -> Attr_eq (pos a, pos b)
-      | _ -> assert false
-    else
-      let lhs =
-        Array.of_list (List.map (fun (a, p) -> (pos a, compile_pat p)) c.C.lhs)
-      in
-      let pair_mask, self_mask =
-        if not maskable then (0, 0)
-        else
-          Array.fold_left
-            (fun (pm, sm) (p, pat) ->
-              ( pm lor (1 lsl p),
-                match pat with Const _ -> sm lor (1 lsl p) | Wild -> sm ))
-            (0, 0) lhs
-      in
-      Standard
-        {
-          lhs;
-          rhs_pos = pos (fst c.C.rhs);
-          rhs = compile_pat (snd c.C.rhs);
-          pair_mask;
-          self_mask;
-        }
-  in
-  let arity = Schema.arity schema in
-  let rules = Array.of_list (List.map rule sigma) in
+let lhs_masks ~maskable lhs =
+  if not maskable then (0, 0)
+  else
+    Array.fold_left
+      (fun (pm, sm) (p, pat) ->
+        ( pm lor (1 lsl p),
+          match pat with Const _ -> sm lor (1 lsl p) | Wild -> sm ))
+      (0, 0) lhs
+
+let assemble ~pos_of_name ~arity rules =
+  Obs.incr c_compiles;
   let watchers = Array.make arity [] in
   let autonomous = ref [] in
   Array.iteri
@@ -97,7 +81,77 @@ let compile schema sigma =
       | Attr_eq _ -> autonomous := idx :: !autonomous)
     rules;
   Array.iteri (fun p l -> watchers.(p) <- List.rev l) watchers;
-  { schema; arity; rules; watchers; autonomous = List.rev !autonomous }
+  { pos_of_name; arity; rules; watchers; autonomous = List.rev !autonomous }
+
+let compile schema sigma =
+  let pos a = Schema.attr_index schema a in
+  let arity = Schema.arity schema in
+  let maskable = arity <= Sys.int_size - 2 in
+  let rule c =
+    if C.is_attr_eq c then
+      match c.C.lhs, c.C.rhs with
+      | [ (a, _) ], (b, _) -> Attr_eq (pos a, pos b)
+      | _ -> assert false
+    else
+      let lhs =
+        Array.of_list (List.map (fun (a, p) -> (pos a, compile_pat p)) c.C.lhs)
+      in
+      let pair_mask, self_mask = lhs_masks ~maskable lhs in
+      Standard
+        {
+          lhs;
+          rhs_pos = pos (fst c.C.rhs);
+          rhs = compile_pat (snd c.C.rhs);
+          pair_mask;
+          self_mask;
+        }
+  in
+  assemble ~pos_of_name:pos ~arity (Array.of_list (List.map rule sigma))
+
+(* --- the IR front-end --------------------------------------------------- *)
+
+let ipos space id =
+  let p = Ir.pos space id in
+  if p < 0 then invalid_arg "Fast_impl: attribute not in the compilation space";
+  p
+
+let rule_of_ir space ic =
+  if Ir.is_attr_eq ic then
+    Attr_eq (ipos space (fst ic.Ir.lhs.(0)), ipos space (fst ic.Ir.rhs))
+  else begin
+    let maskable = Ir.arity space <= Sys.int_size - 2 in
+    let lhs =
+      Array.map (fun (a, p) -> (ipos space a, compile_pat p)) ic.Ir.lhs
+    in
+    let pair_mask, self_mask = lhs_masks ~maskable lhs in
+    Standard
+      {
+        lhs;
+        rhs_pos = ipos space (fst ic.Ir.rhs);
+        rhs = compile_pat (snd ic.Ir.rhs);
+        pair_mask;
+        self_mask;
+      }
+  end
+
+let no_names _ = invalid_arg "Fast_impl: IR-compiled rule set has no attribute names"
+
+let compile_ir space isigma =
+  assemble ~pos_of_name:no_names ~arity:(Ir.arity space)
+    (Array.of_list (List.map (rule_of_ir space) isigma))
+
+let set_rule_ir compiled space i ic =
+  let r = rule_of_ir space ic in
+  compiled.rules.(i) <- r;
+  (* Watchers are not extended: the caller only ever replaces a rule by one
+     with a smaller premise (MinCover's LHS reductions), so the old watcher
+     entries still cover every position the new premise reads.  A rule can
+     however {e become} autonomous when its last constrained LHS entry goes. *)
+  match r with
+  | Standard { lhs; _ } when Array.for_all (fun (_, pat) -> pat = Wild) lhs ->
+    if not (List.mem i compiled.autonomous) then
+      compiled.autonomous <- i :: compiled.autonomous
+  | Standard _ | Attr_eq _ -> ()
 
 let num_rules compiled = Array.length compiled.rules
 
@@ -367,32 +421,28 @@ let rhs_safe u cell = function
      | Some w -> Value.equal v w
      | None -> false)
 
-let implies_attr_eq ?mask ?fired compiled a b =
-  let pos x = Schema.attr_index compiled.schema x in
+let implies_attr_eq_pos ?mask ?fired compiled pa pb =
   let u = uf_create compiled.arity in
   try
     chase ?mask ?fired compiled u [ 0 ];
-    cells_equal u (pos a) (pos b)
+    cells_equal u pa pb
   with Conflict -> true
 
-let implies_standard ?mask ?fired compiled phi =
-  let pos x = Schema.attr_index compiled.schema x in
+(* [lhs] already in positional form. *)
+let implies_standard_pos ?mask ?fired compiled lhs rhs_pos rhs =
   let n = compiled.arity in
-  let rhs_pos = pos (fst phi.C.rhs) in
-  let rhs = compile_pat (snd phi.C.rhs) in
   (* Pair check: two tuples agreeing on (and matching) the LHS. *)
   let pair_ok =
     let u = uf_create (2 * n) in
     try
-      List.iter
-        (fun (a, p) ->
-          let i = pos a in
-          match compile_pat p with
+      Array.iter
+        (fun (i, pat) ->
+          match pat with
           | Const v ->
             ignore (bind u i v);
             ignore (bind u (n + i) v)
           | Wild -> ignore (union u i (n + i)))
-        phi.C.lhs;
+        lhs;
       chase ?mask ?fired compiled u [ 0; n ];
       cells_equal u rhs_pos (n + rhs_pos) && rhs_safe u rhs_pos rhs
     with Conflict -> true
@@ -405,12 +455,10 @@ let implies_standard ?mask ?fired compiled phi =
   | Const _ ->
     let u = uf_create n in
     (try
-       List.iter
-         (fun (a, p) ->
-           match compile_pat p with
-           | Const v -> ignore (bind u (pos a) v)
-           | Wild -> ())
-         phi.C.lhs;
+       Array.iter
+         (fun (i, pat) ->
+           match pat with Const v -> ignore (bind u i v) | Wild -> ())
+         lhs;
        chase ?mask ?fired compiled u [ 0 ];
        rhs_safe u rhs_pos rhs
      with Conflict -> true)
@@ -418,8 +466,32 @@ let implies_standard ?mask ?fired compiled phi =
 let implies ?mask ?fired compiled phi =
   C.is_trivial phi
   ||
+  let pos x = compiled.pos_of_name x in
   if C.is_attr_eq phi then
     match phi.C.lhs, phi.C.rhs with
-    | [ (a, _) ], (b, _) -> implies_attr_eq ?mask ?fired compiled a b
+    | [ (a, _) ], (b, _) ->
+      implies_attr_eq_pos ?mask ?fired compiled (pos a) (pos b)
     | _ -> assert false
-  else implies_standard ?mask ?fired compiled phi
+  else
+    let lhs =
+      Array.of_list
+        (List.map (fun (a, p) -> (pos a, compile_pat p)) phi.C.lhs)
+    in
+    implies_standard_pos ?mask ?fired compiled lhs
+      (pos (fst phi.C.rhs))
+      (compile_pat (snd phi.C.rhs))
+
+let implies_ir ?mask ?fired space compiled iphi =
+  Ir.is_trivial iphi
+  ||
+  if Ir.is_attr_eq iphi then
+    implies_attr_eq_pos ?mask ?fired compiled
+      (ipos space (fst iphi.Ir.lhs.(0)))
+      (ipos space (fst iphi.Ir.rhs))
+  else
+    let lhs =
+      Array.map (fun (a, p) -> (ipos space a, compile_pat p)) iphi.Ir.lhs
+    in
+    implies_standard_pos ?mask ?fired compiled lhs
+      (ipos space (fst iphi.Ir.rhs))
+      (compile_pat (snd iphi.Ir.rhs))

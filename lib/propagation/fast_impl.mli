@@ -25,6 +25,20 @@ type compiled
     attributes. *)
 val compile : Schema.relation -> Cfds.Cfd.t list -> compiled
 
+(** [compile_ir space isigma] compiles interned CFDs against an {!Ir.space}
+    (built once per MinCover site per context) instead of a schema.  The
+    result only answers {!implies_ir} queries; feeding it to {!implies}
+    raises.  Raises on attributes outside the space. *)
+val compile_ir : Ir.space -> Ir.t list -> compiled
+
+(** [set_rule_ir compiled space i ic] replaces rule [i] in place.
+    Precondition: [ic]'s premise positions are a subset of the old rule
+    [i]'s (MinCover's LHS reductions only ever shrink premises) — the
+    semi-naive watcher index is not extended, only the autonomous set can
+    grow.  This is what lets one {!compile_ir} per MinCover site survive
+    the whole reduction loop. *)
+val set_rule_ir : compiled -> Ir.space -> int -> Ir.t -> unit
+
 (** Number of compiled rules (= [List.length sigma]). *)
 val num_rules : compiled -> int
 
@@ -54,3 +68,8 @@ val mask_mem : mask -> int -> bool
     replaying only the marked rules reproduces the same chase, so when the
     check returns [true], the marked rules alone already imply [phi]. *)
 val implies : ?mask:mask -> ?fired:Bytes.t -> compiled -> Cfds.Cfd.t -> bool
+
+(** [implies_ir ?mask ?fired space compiled iphi] — the same decision over
+    interned CFDs; [space] must be the space [compiled] was built with. *)
+val implies_ir :
+  ?mask:mask -> ?fired:Bytes.t -> Ir.space -> compiled -> Ir.t -> bool

@@ -113,15 +113,131 @@ let minimal_cover_db db sigma =
          | Some g -> minimal_cover rel (List.rev g)
          | None -> [])
 
-let prune_partitioned ?pool schema ~chunk sigma =
-  if chunk <= 0 then invalid_arg "Mincover.prune_partitioned: chunk <= 0";
+let split_chunks ~chunk sigma =
   let rec split acc current n = function
     | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
     | c :: rest ->
       if n = chunk then split (List.rev current :: acc) [ c ] 1 rest
       else split acc (c :: current) (n + 1) rest
   in
-  let chunks = split [] [] 0 sigma in
+  split [] [] 0 sigma
+
+let prune_partitioned ?pool schema ~chunk sigma =
+  if chunk <= 0 then invalid_arg "Mincover.prune_partitioned: chunk <= 0";
+  let chunks = split_chunks ~chunk sigma in
   (* Chunks are independent; [Parallel.Pool.map] preserves their order, so
      the output is identical to the sequential run. *)
   List.concat (Parallel.Pool.map ?pool (minimal_cover schema) chunks)
+
+(* --- the IR path --------------------------------------------------------- *)
+
+(* Same three steps as [minimal_cover], but over interned CFDs and with
+   {e one} [Fast_impl.compile_ir] per call: the LHS-reduction loop patches
+   accepted shrinks into the compiled rule set in place ([set_rule_ir] —
+   each replacement is equivalence-preserving, so later candidates testing
+   against the partially-updated set stay correct), and the leave-one-out
+   loop then reuses the same rules through the mask.  No relation
+   re-homing: the interior pipeline keeps one uniform relation per call
+   site.  Runs on pool workers during the partitioned prune — it never
+   interns (all ids pre-exist in [space]), so the context is read-only
+   here. *)
+
+let reduce_lhs_ir ctx space compiled rules i iphi =
+  if Ir.is_attr_eq iphi then iphi
+  else
+    let track = Provenance.enabled () in
+    let rec go iphi tried =
+      let candidate =
+        Array.find_opt (fun (a, _) -> not (List.mem a tried)) iphi.Ir.lhs
+      in
+      match candidate with
+      | None -> iphi
+      | Some (a, _) ->
+        let smaller = Ir.drop_lhs iphi a in
+        Obs.incr c_tested;
+        let fired =
+          if track then Some (Bytes.make (Fast_impl.num_rules compiled) '\000')
+          else None
+        in
+        if Fast_impl.implies_ir ?fired space compiled smaller then begin
+          Obs.incr c_lhs_removed;
+          (match fired with
+           | Some b ->
+             let parents = ref [] in
+             Bytes.iteri
+               (fun j ch ->
+                 if ch = '\001' && j <> i then parents := rules.(j) :: !parents)
+               b;
+             Provenance.record_ir ctx smaller Provenance.Lhs_reduced
+               (iphi :: List.rev !parents)
+           | None -> ());
+          go smaller tried
+        end
+        else go iphi (a :: tried)
+    in
+    go iphi []
+
+let minimal_cover_ir ctx space isigma =
+  Obs.with_span s_cover @@ fun () ->
+  let isigma =
+    List.map
+      (fun ic ->
+        let ic' = Ir.strip_redundant_wildcards ic in
+        Provenance.alias_ir ctx ic' Provenance.Normalised ic;
+        ic')
+      isigma
+  in
+  let isigma = List.filter (fun ic -> not (Ir.is_trivial ic)) isigma in
+  let isigma = List.sort_uniq Ir.compare isigma in
+  let arr = Array.of_list isigma in
+  let compiled = Fast_impl.compile_ir space isigma in
+  (* LHS reduction against the evolving (equivalent) rule set. *)
+  Array.iteri
+    (fun i iphi ->
+      let reduced = reduce_lhs_ir ctx space compiled arr i iphi in
+      if not (Ir.equal reduced iphi) then begin
+        arr.(i) <- reduced;
+        Fast_impl.set_rule_ir compiled space i reduced
+      end)
+    arr;
+  (* Leave-one-out redundancy over the same compiled rules.  Reduction can
+     collapse two rules onto the same CFD; the mask handles that without a
+     dedup pass — testing the first copy finds the (still enabled) second
+     implies it, so at most one survives.  Candidates go in sorted order
+     for determinism. *)
+  let order = Array.init (Array.length arr) Fun.id in
+  Array.sort (fun i j -> Ir.compare arr.(i) arr.(j)) order;
+  let mask = Fast_impl.full_mask compiled in
+  let redundant = Array.make (Array.length arr) false in
+  Array.iter
+    (fun i ->
+      Fast_impl.mask_clear mask i;
+      Obs.incr c_tested;
+      if Fast_impl.implies_ir ~mask space compiled arr.(i) then begin
+        Obs.incr c_removed;
+        redundant.(i) <- true
+      end
+      else Fast_impl.mask_set mask i)
+    order;
+  let out = ref [] in
+  Array.iteri (fun i phi -> if not redundant.(i) then out := phi :: !out) arr;
+  List.sort_uniq Ir.compare !out
+
+let minimal_cover_db_ir ctx db isigma =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun ic ->
+      let g = Option.value ~default:[] (Hashtbl.find_opt groups ic.Ir.rel) in
+      Hashtbl.replace groups ic.Ir.rel (ic :: g))
+    isigma;
+  Schema.relations db
+  |> List.concat_map (fun rel ->
+         match Hashtbl.find_opt groups (Schema.relation_name rel) with
+         | Some g ->
+           minimal_cover_ir ctx (Ir.space_of_schema ctx rel) (List.rev g)
+         | None -> [])
+
+let prune_partitioned_ir ?pool ctx space ~chunk isigma =
+  if chunk <= 0 then invalid_arg "Mincover.prune_partitioned_ir: chunk <= 0";
+  let chunks = split_chunks ~chunk isigma in
+  List.concat (Parallel.Pool.map ?pool (minimal_cover_ir ctx space) chunks)

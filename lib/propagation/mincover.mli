@@ -36,3 +36,26 @@ val prune_partitioned :
   chunk:int ->
   Cfds.Cfd.t list ->
   Cfds.Cfd.t list
+
+(** [minimal_cover_ir ctx space isigma] — {!minimal_cover} over interned
+    CFDs, with one [Fast_impl.compile_ir] per call: accepted LHS reductions
+    are patched into the compiled rules in place and the leave-one-out loop
+    reuses them through the mask.  Unlike {!minimal_cover} there is no
+    relation re-homing (the pipeline interior keeps one uniform relation
+    per site).  Never interns, so it is safe on pool workers with a
+    prebuilt [space]. *)
+val minimal_cover_ir : Ir.ctx -> Ir.space -> Ir.t list -> Ir.t list
+
+(** [minimal_cover_db_ir ctx db isigma] groups by relation and covers each
+    group over its schema's space. *)
+val minimal_cover_db_ir : Ir.ctx -> Schema.db -> Ir.t list -> Ir.t list
+
+(** [prune_partitioned_ir ctx space ~chunk isigma] — {!prune_partitioned}
+    on the IR path. *)
+val prune_partitioned_ir :
+  ?pool:Parallel.Pool.t ->
+  Ir.ctx ->
+  Ir.space ->
+  chunk:int ->
+  Ir.t list ->
+  Ir.t list

@@ -39,6 +39,8 @@ type result = {
   always_empty : bool;
 }
 
+(* Lines 5-6 at the AST level — exposed for tests and the walkthrough
+   example; the pipeline runs [rename_sources_ir] below. *)
 let rename_sources (v : Spc.t) sigma =
   List.concat_map
     (fun (a : Spc.atom) ->
@@ -59,6 +61,35 @@ let rename_sources (v : Spc.t) sigma =
                  (Provenance.Renamed ("view atom " ^ a.Spc.base))
                  [ c ];
                Some c'))
+    v.Spc.atoms
+
+(* Lines 5-6: push the source CFDs through the renaming ρ_j of each view
+   atom, onto the interned body-attribute namespace. *)
+let rename_sources_ir ctx (v : Spc.t) isigma =
+  let prov = Provenance.enabled () in
+  List.concat_map
+    (fun (a : Spc.atom) ->
+      let base = Schema.find v.Spc.source a.Spc.base in
+      let map = Hashtbl.create 16 in
+      List.iter2
+        (fun orig renamed ->
+          Hashtbl.replace map
+            (Ir.intern ctx (Attribute.name orig))
+            (Ir.intern ctx (Attribute.name renamed)))
+        (Schema.attributes base) a.Spc.attrs;
+      let rn i = Option.value ~default:i (Hashtbl.find_opt map i) in
+      isigma
+      |> List.filter (fun ic -> String.equal ic.Ir.rel a.Spc.base)
+      |> List.filter_map (fun ic ->
+             match Ir.rename ic rn with
+             | None -> None
+             | Some ic' ->
+               let ic' = Ir.with_rel ic' v.Spc.name in
+               if prov then
+                 Provenance.record_ir ctx ic'
+                   (Provenance.Renamed ("view atom " ^ a.Spc.base))
+                   [ ic ];
+               Some ic'))
     v.Spc.atoms
 
 (* The cover of Lemma 4.5: two conflicting constant CFDs on some view
@@ -90,13 +121,18 @@ let empty_view_cover (v : Spc.t) =
 
 (* Rewrite an empty-LHS constant CFD (∅ → A, (‖ a)), produced internally
    for keyed classes, into the paper's (A → A, (_ ‖ a)) form. *)
-let normalise_const_form c =
-  if c.C.lhs = [] then
-    match c.C.rhs with
-    | a, P.Const v -> C.const_binding c.C.rel a v
-    | _ -> c
-  else c
+let normalise_const_form_ir ic =
+  if Array.length ic.Ir.lhs = 0 then
+    match ic.Ir.rhs with
+    | a, P.Const v -> Ir.const_binding ic.Ir.rel a v
+    | _ -> ic
+  else ic
 
+(* The pipeline interior runs entirely on the IR: one context per [cover]
+   call interns every attribute name touched (source, renamed, view), the
+   AST is converted exactly once per input CFD on the way in and once per
+   cover member on the way out — the [ir.of_ast]/[ir.to_ast] counters pin
+   this down in the test suite. *)
 let cover ?(options = default_options) (v : Spc.t) sigma =
   Obs.with_span_traced s_cover @@ fun () ->
   Obs.incr c_covers;
@@ -106,109 +142,116 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
         invalid_arg
           (Printf.sprintf "Propcover: CFD on unknown source relation %s" c.C.rel))
     sigma;
+  let ctx = Ir.create_ctx () in
+  (* The entry edge. *)
+  let isigma = List.map (Ir.of_ast ctx) sigma in
   (* The given Σ are the leaves every derivation must bottom out in. *)
-  Provenance.record_axioms sigma;
+  Provenance.record_axioms_ir ctx isigma;
   let y = v.Spc.projection in
   let view_schema = Spc.view_schema v in
   (* Line 1: Σ := MinCover(Σ). *)
-  let sigma =
-    if options.skip_initial_mincover then sigma
+  let isigma =
+    if options.skip_initial_mincover then isigma
     else
       Obs.with_span_traced s_initial_mincover (fun () ->
-          Mincover.minimal_cover_db v.Spc.source sigma)
+          Mincover.minimal_cover_db_ir ctx v.Spc.source isigma)
   in
   (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
-  let sigma_v = Obs.with_span_traced s_rename (fun () -> rename_sources v sigma) in
+  let sigma_v =
+    Obs.with_span_traced s_rename (fun () -> rename_sources_ir ctx v isigma)
+  in
   (* Line 2: EQ := ComputeEQ. *)
   let body = Spc.body_attrs v in
+  let body_ids = List.map (fun a -> Ir.intern ctx (Attribute.name a)) body in
   match
     Obs.with_span_traced s_compute_eq (fun () ->
-        Compute_eq.compute ~body ~selection:v.Spc.selection ~sigma:sigma_v)
+        Compute_eq.compute_ir ctx ~body:body_ids ~selection:v.Spc.selection
+          ~sigma:sigma_v)
   with
-  | Compute_eq.Bottom ->
+  | Compute_eq.Bottom_ir ->
     { cover = empty_view_cover v; complete = true; always_empty = true }
-  | Compute_eq.Classes classes ->
+  | Compute_eq.Classes_ir classes ->
     (* Lines 7-10: representative substitution; keep Y members as reps. *)
-    let rep_map = Compute_eq.representatives classes ~prefer:y in
+    let y_ids = List.map (Ir.intern ctx) y in
+    let in_y id = List.mem id y_ids in
+    let rep_map = Compute_eq.representatives_ir classes ~prefer:in_y in
     let rep_of a =
       match List.assoc_opt a rep_map with Some r -> r | None -> a
     in
     (* The substitution is justified by the classes that merged each
        renamed attribute with its representative — their contributors are
        extra provenance parents beside the CFD itself. *)
+    let prov = Provenance.enabled () in
     let sigma_v =
       List.filter_map
-        (fun c ->
-          match C.rename_attrs c rep_map with
+        (fun ic ->
+          match Ir.rename ic rep_of with
           | None -> None
-          | Some c' ->
-            if Provenance.enabled () then begin
+          | Some ic' ->
+            if prov then begin
               let deps =
-                C.attrs c
-                |> List.filter (fun a -> not (String.equal (rep_of a) a))
+                Ir.attrs ic
+                |> List.filter (fun a -> rep_of a <> a)
                 |> List.concat_map (fun a ->
-                       match Compute_eq.class_of classes a with
-                       | Some cl -> cl.Compute_eq.contributors
+                       match Compute_eq.class_of_ir classes a with
+                       | Some cl -> cl.Compute_eq.icontribs
                        | None -> [])
               in
-              Provenance.record c' (Provenance.Renamed "representative")
-                (c :: deps)
+              Provenance.record_ir ctx ic' (Provenance.Renamed "representative")
+                (ic :: deps)
             end;
-            Some c')
+            Some ic')
         sigma_v
     in
     (* Key CFDs (∅ → rep, (‖ key)) let RBR resolve away keyed attributes
        that are not projected (Lemma 4.3 / domain constraints as CFDs). *)
     let key_cfds =
       List.filter_map
-        (fun (cl : Compute_eq.eq_class) ->
-          match cl.Compute_eq.key with
+        (fun (cl : Compute_eq.eq_class_ir) ->
+          match cl.Compute_eq.ikey with
           | Some value ->
             let kc =
-              C.make v.Spc.name []
-                (rep_of (List.hd cl.Compute_eq.attrs), P.Const value)
+              Ir.make v.Spc.name []
+                (rep_of (List.hd cl.Compute_eq.iattrs), P.Const value)
             in
-            Provenance.record kc Provenance.Eq_class cl.Compute_eq.contributors;
+            if prov then
+              Provenance.record_ir ctx kc Provenance.Eq_class
+                cl.Compute_eq.icontribs;
             Some kc
           | None -> None)
         classes
     in
-    let sigma_v = List.sort_uniq C.compare (key_cfds @ sigma_v) in
+    let sigma_v = List.sort_uniq Ir.compare (key_cfds @ sigma_v) in
     (* Line 11: RBR over the non-projected representative attributes. *)
-    let body_reps =
-      List.sort_uniq String.compare (List.map (fun a -> rep_of (Attribute.name a)) body)
-    in
-    let drop_attrs = List.filter (fun a -> not (List.mem a y)) body_reps in
-    let pseudo_schema =
-      Schema.relation (v.Spc.name ^ "#body")
-        (List.map
-           (fun n ->
-             match
-               List.find_opt (fun a -> String.equal (Attribute.name a) n) body
-             with
-             | Some a -> Attribute.rename a n
-             | None -> assert false)
-           body_reps)
-    in
+    let body_reps = List.sort_uniq Int.compare (List.map rep_of body_ids) in
+    let drop_ids = List.filter (fun a -> not (in_y a)) body_reps in
+    (* Every CFD entering RBR mentions only body representatives, so one
+       space over them frames the partitioned prune's compilations. *)
     let prune =
-      Option.map (fun chunk -> (pseudo_schema, chunk)) options.prune_chunk
+      Option.map
+        (fun chunk -> (Ir.space ctx body_reps, chunk))
+        options.prune_chunk
     in
     let sigma_c, completeness =
       Obs.with_span_traced s_rbr (fun () ->
-          Rbr.reduce ?prune ?pool:options.pool
+          Rbr.reduce_ir ~ctx ?prune ?pool:options.pool
             ?max_size:options.max_intermediate ~order:options.rbr_order sigma_v
-            ~drop_attrs)
+            ~drop_ids)
     in
     (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)
     let sigma_d =
       Obs.with_span_traced s_eq2cfd (fun () ->
-          Compute_eq.to_cfds ~view:v.Spc.name ~y classes)
+          Compute_eq.to_cfds_ir ctx ~view:v.Spc.name ~y:in_y classes)
     in
     let rc_cfds =
       List.map
         (fun (a, value) ->
-          let c = C.const_binding v.Spc.name (Attribute.name a) value in
-          Provenance.record c Provenance.Rc_constant [];
+          let c =
+            Ir.const_binding v.Spc.name
+              (Ir.intern ctx (Attribute.name a))
+              value
+          in
+          Provenance.record_ir ctx c Provenance.Rc_constant [];
           c)
         v.Spc.constants
     in
@@ -216,15 +259,18 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
     let all =
       List.map
         (fun c ->
-          let c' = normalise_const_form c in
-          Provenance.alias c' Provenance.Normalised c;
+          let c' = normalise_const_form_ir c in
+          Provenance.alias_ir ctx c' Provenance.Normalised c;
           c')
         (sigma_c @ sigma_d @ rc_cfds)
     in
-    let cover =
+    let vspace = Ir.space_of_schema ctx view_schema in
+    let cover_ir =
       Obs.with_span_traced s_final_mincover (fun () ->
-          Mincover.minimal_cover view_schema all)
+          Mincover.minimal_cover_ir ctx vspace all)
     in
+    (* The exit edge. *)
+    let cover = List.sort C.compare (List.map (Ir.to_ast ctx) cover_ir) in
     Obs.add c_cover_size (List.length cover);
     {
       cover;

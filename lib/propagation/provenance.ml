@@ -16,26 +16,41 @@ type node = { id : int; cfd : C.t; rule : rule; parents : int list }
 
 (* One global arena, mirroring [Obs]: an atomic enabled flag guards every
    record site, so the disabled hot path pays one load and branch.  Nodes
-   are immutable; the arena only ever appends.  CFDs are interned (keyed by
-   their canonical form) to dense node ids; a CFD derived more than once
-   keeps its first derivation, so parent ids are always strictly smaller
-   than the child's and the structure is a DAG by construction.  A mutex
-   serialises writers (the partitioned MinCover prune records from pool
-   workers). *)
+   are immutable; the arena only ever appends.  A CFD derived more than
+   once keeps its first derivation, so parent ids are always strictly
+   smaller than the child's and the structure is a DAG by construction.  A
+   mutex serialises writers (the partitioned MinCover prune records from
+   pool workers).
+
+   The pipeline records interned CFDs ([record_ir]), keyed on
+   (context stamp, Ir.t) — the IR is canonical by construction, so no
+   re-sorting of string ASTs happens per record.  Each node holds its AST
+   lazily (forced only at the query/render edges); the AST-keyed index is
+   materialised on demand: any AST-level operation first folds the pending
+   IR-recorded nodes into it, first derivation winning on collisions.  The
+   [materialized] watermark is a prefix: AST-path allocations only happen
+   right after a materialisation pass, IR-path allocations append behind
+   the watermark. *)
+
+type stored = { s_cfd : C.t Lazy.t; s_rule : rule; s_parents : int list }
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 
 let mutex = Mutex.create ()
-let nodes : node array ref = ref [||]
+let nodes : stored array ref = ref [||]
 let n_nodes = ref 0
 let index : (C.t, int) Hashtbl.t = Hashtbl.create 256
+let ir_index : (int * Ir.t, int) Hashtbl.t = Hashtbl.create 256
+let materialized = ref 0
 
 let reset () =
   Mutex.lock mutex;
   nodes := [||];
   n_nodes := 0;
   Hashtbl.reset index;
+  Hashtbl.reset ir_index;
+  materialized := 0;
   Mutex.unlock mutex
 
 let set_enabled on =
@@ -46,34 +61,49 @@ let set_enabled on =
   else Atomic.set enabled_flag false
 
 (* Callers hold [mutex]. *)
-let alloc_locked cfd rule parents =
+let alloc_locked s_cfd rule parents =
   let id = !n_nodes in
   if id >= Array.length !nodes then begin
     let a =
       Array.make
         (max 256 (2 * Array.length !nodes))
-        { id = 0; cfd; rule = Axiom; parents = [] }
+        { s_cfd; s_rule = Axiom; s_parents = [] }
     in
     Array.blit !nodes 0 a 0 id;
     nodes := a
   end;
-  !nodes.(id) <- { id; cfd; rule; parents };
+  !nodes.(id) <- { s_cfd; s_rule = rule; s_parents = parents };
   n_nodes := id + 1;
+  id
+
+let materialize_locked () =
+  for id = !materialized to !n_nodes - 1 do
+    let cfd = Lazy.force !nodes.(id).s_cfd in
+    if not (Hashtbl.mem index cfd) then Hashtbl.replace index cfd id
+  done;
+  materialized := !n_nodes
+
+(* AST-path allocation: runs right after [materialize_locked], so indexing
+   the new node keeps the watermark a prefix. *)
+let alloc_ast_locked cfd rule parents =
+  let id = alloc_locked (Lazy.from_val cfd) rule parents in
   Hashtbl.replace index cfd id;
+  materialized := !n_nodes;
   id
 
 let intern_locked cfd =
   match Hashtbl.find_opt index cfd with
   | Some id -> id
-  | None -> alloc_locked cfd Axiom []
+  | None -> alloc_ast_locked cfd Axiom []
 
 let record cfd rule parents =
   if Atomic.get enabled_flag then begin
     let cfd = C.canonical cfd in
     Mutex.lock mutex;
+    materialize_locked ();
     (* Parents first: their ids end up strictly below the child's. *)
     let pids = List.map (fun p -> intern_locked (C.canonical p)) parents in
-    if not (Hashtbl.mem index cfd) then ignore (alloc_locked cfd rule pids);
+    if not (Hashtbl.mem index cfd) then ignore (alloc_ast_locked cfd rule pids);
     Mutex.unlock mutex
   end
 
@@ -86,6 +116,34 @@ let alias child rule parent =
   if Atomic.get enabled_flag && C.compare (C.canonical child) (C.canonical parent) <> 0
   then record child rule [ parent ]
 
+(* --- the IR path --------------------------------------------------------- *)
+
+let alloc_ir_locked ctx ic rule parents =
+  let id = alloc_locked (lazy (Ir.to_ast ctx ic)) rule parents in
+  Hashtbl.replace ir_index (Ir.stamp ctx, ic) id;
+  id
+
+let intern_ir_locked ctx ic =
+  match Hashtbl.find_opt ir_index (Ir.stamp ctx, ic) with
+  | Some id -> id
+  | None -> alloc_ir_locked ctx ic Axiom []
+
+let record_ir ctx ic rule parents =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock mutex;
+    let pids = List.map (intern_ir_locked ctx) parents in
+    if not (Hashtbl.mem ir_index (Ir.stamp ctx, ic)) then
+      ignore (alloc_ir_locked ctx ic rule pids);
+    Mutex.unlock mutex
+  end
+
+let record_axiom_ir ctx ic = record_ir ctx ic Axiom []
+let record_axioms_ir ctx ics = List.iter (record_axiom_ir ctx) ics
+
+let alias_ir ctx child rule parent =
+  if Atomic.get enabled_flag && not (Ir.equal child parent) then
+    record_ir ctx child rule [ parent ]
+
 (* --- queries ------------------------------------------------------------- *)
 
 let size () =
@@ -94,10 +152,15 @@ let size () =
   Mutex.unlock mutex;
   n
 
+let node_locked id =
+  let s = !nodes.(id) in
+  { id; cfd = Lazy.force s.s_cfd; rule = s.s_rule; parents = s.s_parents }
+
 let find cfd =
   Mutex.lock mutex;
+  materialize_locked ();
   let r =
-    Option.map (fun id -> !nodes.(id)) (Hashtbl.find_opt index (C.canonical cfd))
+    Option.map node_locked (Hashtbl.find_opt index (C.canonical cfd))
   in
   Mutex.unlock mutex;
   r
@@ -109,7 +172,7 @@ let node id =
     invalid_arg "Provenance.node"
   end
   else begin
-    let n = !nodes.(id) in
+    let n = node_locked id in
     Mutex.unlock mutex;
     n
   end

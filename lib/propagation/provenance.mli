@@ -15,7 +15,15 @@
     keeps its {e first} derivation, parents are interned before children,
     and node ids strictly decrease from child to parent — the arena is a
     DAG by construction.  Writers are serialised by a mutex (the
-    partitioned prune records from pool workers). *)
+    partitioned prune records from pool workers).
+
+    The pipeline interior records {e interned} CFDs ({!record_ir}): the
+    arena keys them on (context stamp, {!Ir.t}) — canonical ids, no
+    re-sorting of string ASTs per record — and holds each node's AST
+    lazily.  The AST is only produced at the query/render edges ({!find},
+    {!node}, {!sources}, {!pp_tree}, {!to_json} and the AST-level record
+    functions), where pending IR-recorded nodes are folded into the
+    AST-keyed index on demand, first derivation winning. *)
 
 (** How a node's CFD was obtained from its parents. *)
 type rule =
@@ -58,6 +66,17 @@ val record_axioms : Cfds.Cfd.t list -> unit
 (** [alias child rule parent] records a unary rewriting step, skipped
     when [child] and [parent] are canonically equal. *)
 val alias : Cfds.Cfd.t -> rule -> Cfds.Cfd.t -> unit
+
+(** [record_ir ctx ic rule parents] — {!record} over interned CFDs: no AST
+    is built, the node's AST stays a thunk until a query edge forces it. *)
+val record_ir : Ir.ctx -> Ir.t -> rule -> Ir.t list -> unit
+
+val record_axiom_ir : Ir.ctx -> Ir.t -> unit
+val record_axioms_ir : Ir.ctx -> Ir.t list -> unit
+
+(** [alias_ir ctx child rule parent] — {!alias} over interned CFDs (the IR
+    is canonical by construction, so the identity test is {!Ir.equal}). *)
+val alias_ir : Ir.ctx -> Ir.t -> rule -> Ir.t -> unit
 
 (** Number of nodes in the arena. *)
 val size : unit -> int

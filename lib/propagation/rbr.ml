@@ -1,6 +1,5 @@
 module C = Cfds.Cfd
 module P = Cfds.Pattern
-module I = Cfds.Interner
 
 (* Observability (no-op unless the recording sink is enabled). *)
 let c_attrs_dropped = Obs.counter "rbr.attrs_dropped"
@@ -8,6 +7,7 @@ let c_resolvents = Obs.counter "rbr.resolvents_generated"
 let c_deduped = Obs.counter "rbr.resolvents_deduped"
 let c_buckets = Obs.counter "rbr.bucket_nodes_touched"
 let c_prunes = Obs.counter "rbr.prune_rounds"
+let c_builds = Obs.counter "rbr.engine_builds"
 let s_reduce = Obs.span "rbr.reduce"
 let s_prune = Obs.span "rbr.prune"
 
@@ -63,137 +63,23 @@ let drop sigma a =
   List.sort_uniq C.compare canon
 
 (* ---------------------------------------------------------------------- *)
-(* Interned CFDs: attribute names resolved to dense ids, LHS rows as       *)
-(* id-sorted arrays.  Pattern merges become linear array merges instead of *)
-(* [List.assoc_opt] + [List.remove_assoc] per attribute.                   *)
-
-type icfd = {
-  irel : string;
-  ilhs : (int * P.sym) array; (* sorted by attribute id, ids distinct *)
-  irhs : int * P.sym;
-}
-
-let to_icfd interner (c : C.t) =
-  let arr =
-    Array.of_list (List.map (fun (a, p) -> (I.intern interner a, p)) c.C.lhs)
-  in
-  Array.sort (fun (i, _) (j, _) -> Int.compare i j) arr;
-  {
-    irel = c.C.rel;
-    ilhs = arr;
-    irhs = (I.intern interner (fst c.C.rhs), snd c.C.rhs);
-  }
-
-let of_icfd interner ic =
-  C.canonical
-    (C.make ic.irel
-       (Array.to_list
-          (Array.map (fun (i, p) -> (I.name interner i, p)) ic.ilhs))
-       (I.name interner (fst ic.irhs), snd ic.irhs))
-
-let ic_lhs_pattern ic a =
-  let arr = ic.ilhs in
-  let rec bs lo hi =
-    if lo >= hi then None
-    else
-      let mid = (lo + hi) / 2 in
-      let i, p = arr.(mid) in
-      if i = a then Some p else if i < a then bs (mid + 1) hi else bs lo mid
-  in
-  bs 0 (Array.length arr)
-
-let ic_is_attr_eq ic =
-  match ic.ilhs, ic.irhs with
-  | [| (_, P.Svar) |], (_, P.Svar) -> true
-  | _ -> false
-
-let ic_is_trivial ic =
-  if ic_is_attr_eq ic then fst ic.ilhs.(0) = fst ic.irhs
-  else
-    let a, eta2 = ic.irhs in
-    match ic_lhs_pattern ic a with
-    | None -> false
-    | Some eta1 ->
-      P.equal eta1 eta2 || (P.is_const eta1 && P.equal eta2 P.Wild)
-
-exception Undefined
-
-(* Merge two id-sorted LHS rows, meeting patterns on shared attributes and
-   skipping the eliminated attribute in [z].  Raises [Undefined] on an empty
-   meet. *)
-let ic_merge_lhs w z ~skip =
-  let nw = Array.length w and nz = Array.length z in
-  let out = Array.make (nw + nz) (0, P.Wild) in
-  let k = ref 0 in
-  let push e =
-    out.(!k) <- e;
-    incr k
-  in
-  let i = ref 0 and j = ref 0 in
-  while !i < nw || !j < nz do
-    if !j < nz && fst z.(!j) = skip then incr j
-    else if !i >= nw then begin
-      push z.(!j);
-      incr j
-    end
-    else if !j >= nz then begin
-      push w.(!i);
-      incr i
-    end
-    else begin
-      let ai, pi = w.(!i) and aj, pj = z.(!j) in
-      if ai < aj then begin
-        push w.(!i);
-        incr i
-      end
-      else if aj < ai then begin
-        push z.(!j);
-        incr j
-      end
-      else begin
-        (match P.meet pi pj with
-         | Some m -> push (ai, m)
-         | None -> raise Undefined);
-        incr i;
-        incr j
-      end
-    end
-  done;
-  Array.sub out 0 !k
-
-let ic_resolvent phi1 phi2 ~on:a =
-  if ic_is_attr_eq phi1 || ic_is_attr_eq phi2 then None
-  else if fst phi1.irhs <> a then None
-  else
-    match ic_lhs_pattern phi2 a with
-    | None -> None
-    | Some t2_a ->
-      if not (P.leq (snd phi1.irhs) t2_a) then None
-      else if ic_lhs_pattern phi1 a <> None then None
-      else if fst phi2.irhs = a then None
-      else (
-        try
-          let merged = ic_merge_lhs phi1.ilhs phi2.ilhs ~skip:a in
-          let ic = { irel = phi1.irel; ilhs = merged; irhs = phi2.irhs } in
-          if ic_is_trivial ic then None else Some ic
-        with Undefined -> None)
-
-(* ---------------------------------------------------------------------- *)
-(* The indexed engine.  The working set is bucketed by RHS attribute and   *)
-(* by LHS membership, so [drop a] pairs only {φ₁ : rhs(φ₁)=a} with         *)
-(* {φ₂ : a ∈ lhs(φ₂)} instead of all-pairs over the involved set, and the  *)
-(* buckets (plus per-attribute degrees for the min-degree order) survive   *)
-(* across elimination steps.                                               *)
+(* The indexed engine, natively over the pipeline IR ({!Ir.t}).  The       *)
+(* working set is bucketed by RHS attribute and by LHS membership, so      *)
+(* [drop a] pairs only {φ₁ : rhs(φ₁)=a} with {φ₂ : a ∈ lhs(φ₂)} instead of *)
+(* all-pairs over the involved set, and the buckets (plus per-attribute    *)
+(* degrees for the min-degree order) survive across elimination steps —    *)
+(* and, since PR 5, across prune rounds too: the partitioned MinCover's    *)
+(* result is diffed into the live buckets instead of rebuilding.           *)
 
 module Engine = struct
-  type node = { nid : int; ic : icfd }
+  type node = { nid : int; ic : Ir.t }
 
   type t = {
-    interner : I.t;
+    ctx : Ir.ctx;
     mutable by_rhs : (int, node) Hashtbl.t array; (* rhs id -> nodes by nid *)
     mutable by_lhs : (int, node) Hashtbl.t array; (* lhs id -> nodes by nid *)
     mutable degree : int array; (* live nodes mentioning the attribute *)
-    live : (icfd, node) Hashtbl.t;
+    live : (Ir.t, node) Hashtbl.t;
     mutable next_nid : int;
   }
 
@@ -212,39 +98,35 @@ module Engine = struct
       eng.degree <- d
     end
 
-  (* Iterate the distinct attributes of [ic] (the RHS attribute may repeat
-     an LHS attribute, e.g. in (A -> A, (_ ‖ a))). *)
-  let ic_attrs_iter ic f =
-    let r = fst ic.irhs in
-    let seen_r = ref false in
-    Array.iter
-      (fun (i, _) ->
-        if i = r then seen_r := true;
-        f i)
-      ic.ilhs;
-    if not !seen_r then f r
-
   let add eng ic =
     if not (Hashtbl.mem eng.live ic) then begin
-      ensure_capacity eng (I.size eng.interner);
+      ensure_capacity eng (Cfds.Interner.size (Ir.interner eng.ctx));
       let n = { nid = eng.next_nid; ic } in
       eng.next_nid <- eng.next_nid + 1;
       Hashtbl.replace eng.live ic n;
-      Hashtbl.replace eng.by_rhs.(fst ic.irhs) n.nid n;
-      Array.iter (fun (a, _) -> Hashtbl.replace eng.by_lhs.(a) n.nid n) ic.ilhs;
-      ic_attrs_iter ic (fun a -> eng.degree.(a) <- eng.degree.(a) + 1)
+      Hashtbl.replace eng.by_rhs.(fst ic.Ir.rhs) n.nid n;
+      Array.iter
+        (fun (a, _) -> Hashtbl.replace eng.by_lhs.(a) n.nid n)
+        ic.Ir.lhs;
+      Ir.attrs_iter ic (fun a -> eng.degree.(a) <- eng.degree.(a) + 1)
     end
 
   let remove eng (n : node) =
     Hashtbl.remove eng.live n.ic;
-    Hashtbl.remove eng.by_rhs.(fst n.ic.irhs) n.nid;
-    Array.iter (fun (a, _) -> Hashtbl.remove eng.by_lhs.(a) n.nid) n.ic.ilhs;
-    ic_attrs_iter n.ic (fun a -> eng.degree.(a) <- eng.degree.(a) - 1)
+    Hashtbl.remove eng.by_rhs.(fst n.ic.Ir.rhs) n.nid;
+    Array.iter (fun (a, _) -> Hashtbl.remove eng.by_lhs.(a) n.nid) n.ic.Ir.lhs;
+    Ir.attrs_iter n.ic (fun a -> eng.degree.(a) <- eng.degree.(a) - 1)
 
-  let build interner sigma =
+  let remove_cfd eng ic =
+    match Hashtbl.find_opt eng.live ic with
+    | Some n -> remove eng n
+    | None -> ()
+
+  let build ctx isigma =
+    Obs.incr c_builds;
     let eng =
       {
-        interner;
+        ctx;
         by_rhs = [||];
         by_lhs = [||];
         degree = [||];
@@ -252,7 +134,7 @@ module Engine = struct
         next_nid = 0;
       }
     in
-    List.iter (fun c -> add eng (to_icfd interner c)) sigma;
+    List.iter (fun ic -> add eng ic) isigma;
     eng
 
   let size eng = Hashtbl.length eng.live
@@ -275,14 +157,13 @@ module Engine = struct
           (fun (p : node) ->
             List.filter_map
               (fun (c : node) ->
-                match ic_resolvent p.ic c.ic ~on:a with
+                match Ir.resolvent p.ic c.ic ~on:a with
                 | None -> None
                 | Some r ->
                   if prov then
-                    Provenance.record
-                      (of_icfd eng.interner r)
-                      (Provenance.Resolvent (I.name eng.interner a))
-                      [ of_icfd eng.interner p.ic; of_icfd eng.interner c.ic ];
+                    Provenance.record_ir eng.ctx r
+                      (Provenance.Resolvent (Ir.name eng.ctx a))
+                      [ p.ic; c.ic ];
                   Some r)
               consumers)
           producers
@@ -291,7 +172,7 @@ module Engine = struct
         Obs.trace_end
           ~args:
             [
-              ("attr", I.name eng.interner a);
+              ("attr", Ir.name eng.ctx a);
               ("producers", string_of_int (List.length producers));
               ("consumers", string_of_int (List.length consumers));
               ("resolvents", string_of_int (List.length resolvents));
@@ -311,47 +192,58 @@ module Engine = struct
         resolvents
     end
 
+  let extract_ir eng =
+    Hashtbl.fold (fun ic _ acc -> ic :: acc) eng.live []
+    |> List.sort Ir.compare
+
   let extract eng =
-    Hashtbl.fold (fun ic _ acc -> of_icfd eng.interner ic :: acc) eng.live []
+    Hashtbl.fold (fun ic _ acc -> Ir.to_ast eng.ctx ic :: acc) eng.live []
     |> List.sort_uniq C.compare
 end
 
 let drop_indexed sigma a =
-  let interner = I.create () in
-  let eng = Engine.build interner sigma in
-  Engine.drop_attr eng (I.intern interner a);
+  let ctx = Ir.create_ctx () in
+  let eng = Engine.build ctx (List.map (Ir.of_ast ctx) sigma) in
+  Engine.drop_attr eng (Ir.intern ctx a);
   Engine.extract eng
 
-let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
+let reduce_ir ~ctx ?prune ?pool ?max_size ?(order = `Min_degree) isigma
+    ~drop_ids =
   (* Constant-RHS CFDs shed their wildcard LHS attributes first: otherwise a
      projected-away wildcard attribute would drag an equivalent, still
      propagated CFD out of the cover. *)
-  let sigma =
+  let isigma =
     List.map
-      (fun c ->
-        let c' = C.strip_redundant_wildcards c in
-        Provenance.alias c' Provenance.Normalised c;
-        c')
-      sigma
+      (fun ic ->
+        let ic' = Ir.strip_redundant_wildcards ic in
+        Provenance.alias_ir ctx ic' Provenance.Normalised ic;
+        ic')
+      isigma
   in
-  let interner = I.create () in
-  let drop_ids = List.map (I.intern interner) drop_attrs in
-  let eng = ref (Engine.build interner sigma) in
+  let eng = Engine.build ctx isigma in
   (* Adaptive pruning: resolution only hurts when the working set grows, so
      the (linear, but not free) partitioned MinCover runs only once the set
-     has doubled since the last prune.  The engine is rebuilt from the pruned
-     set; between prunes the buckets evolve incrementally. *)
-  let last_pruned = ref (max 256 (List.length sigma)) in
+     has doubled since the last prune.  The pruned set is diffed into the
+     live engine — stale nodes removed, reduced ones added — so buckets and
+     degrees survive the prune instead of being rebuilt from scratch. *)
+  let last_pruned = ref (max 256 (List.length isigma)) in
   let prune_set () =
     match prune with
-    | Some (schema, chunk) when Engine.size !eng > 2 * !last_pruned ->
+    | Some (space, chunk) when Engine.size eng > 2 * !last_pruned ->
       Obs.incr c_prunes;
       Obs.with_span s_prune (fun () ->
-          let s =
-            Mincover.prune_partitioned ?pool schema ~chunk (Engine.extract !eng)
+          let live = Engine.extract_ir eng in
+          let pruned =
+            Mincover.prune_partitioned_ir ?pool ctx space ~chunk live
           in
-          last_pruned := max 256 (List.length s);
-          eng := Engine.build interner s)
+          last_pruned := max 256 (List.length pruned);
+          let keep = Hashtbl.create 256 in
+          List.iter (fun ic -> Hashtbl.replace keep ic ()) pruned;
+          List.iter
+            (fun ic ->
+              if not (Hashtbl.mem keep ic) then Engine.remove_cfd eng ic)
+            live;
+          List.iter (fun ic -> Engine.add eng ic) pruned)
     | Some _ | None -> ()
   in
   (* Greedy min-degree elimination order: dropping the attribute with the
@@ -369,27 +261,40 @@ let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
           match best with
           | None -> Some a
           | Some b ->
-            if Engine.degree !eng a < Engine.degree !eng b then Some a else best)
+            if Engine.degree eng a < Engine.degree eng b then Some a else best)
         None remaining
   in
   let rec go remaining =
     match pick_next remaining with
-    | None -> (Engine.extract !eng, `Complete)
+    | None -> (Engine.extract_ir eng, `Complete)
     | Some a ->
       let rest = List.filter (fun b -> b <> a) remaining in
-      Engine.drop_attr !eng a;
+      Engine.drop_attr eng a;
       prune_set ();
       (match max_size with
-       | Some bound when Engine.size !eng > bound ->
+       | Some bound when Engine.size eng > bound ->
          (* Heuristic cut-off: return the sound subset already free of the
             attributes still to be dropped. *)
-         let rest_names = List.map (I.name interner) rest in
          let clean =
            List.filter
-             (fun c -> not (List.exists (fun b -> mentions b c) rest_names))
-             (Engine.extract !eng)
+             (fun ic -> not (List.exists (fun b -> Ir.mentions b ic) rest))
+             (Engine.extract_ir eng)
          in
          (clean, `Truncated)
        | _ -> go rest)
   in
   Obs.with_span s_reduce (fun () -> go drop_ids)
+
+let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
+  let ctx = Ir.create_ctx () in
+  let isigma = List.map (Ir.of_ast ctx) sigma in
+  let drop_ids = List.map (Ir.intern ctx) drop_attrs in
+  let prune =
+    Option.map
+      (fun (schema, chunk) -> (Ir.space_of_schema ctx schema, chunk))
+      prune
+  in
+  let irs, completeness =
+    reduce_ir ~ctx ?prune ?pool ?max_size ~order isigma ~drop_ids
+  in
+  (List.sort_uniq C.compare (List.map (Ir.to_ast ctx) irs), completeness)

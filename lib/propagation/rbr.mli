@@ -6,13 +6,16 @@
 
     Two implementations coexist.  The reference one ([resolvent], [drop])
     works over the string-keyed {!Cfds.Cfd.t} representation and resolves
-    all pairs of the involved set.  The engine driving [reduce] interns
-    attribute names ({!Cfds.Interner}), keeps LHS rows as id-sorted arrays,
-    and buckets the working set by RHS attribute and by LHS membership so
-    [drop a] pairs only {i producers} (rhs = a) with {i consumers}
-    (a ∈ lhs); buckets and per-attribute degrees are maintained
-    incrementally across elimination steps.  The property-test suite checks
-    the two agree on generated workloads. *)
+    all pairs of the involved set.  The engine driving [reduce]/[reduce_ir]
+    works natively over the pipeline IR ({!Ir.t}: interned attribute ids,
+    id-sorted LHS arrays) and buckets the working set by RHS attribute and
+    by LHS membership so [drop a] pairs only {i producers} (rhs = a) with
+    {i consumers} (a ∈ lhs); buckets and per-attribute degrees are
+    maintained incrementally across elimination steps {e and} across prune
+    rounds (the pruned set is diffed into the live buckets — the engine is
+    built exactly once per reduction, counted by [rbr.engine_builds]).
+    The property-test suite checks the implementations agree on generated
+    workloads. *)
 
 open Relational
 
@@ -60,3 +63,19 @@ val reduce :
   Cfds.Cfd.t list ->
   drop_attrs:string list ->
   Cfds.Cfd.t list * [ `Complete | `Truncated ]
+
+(** [reduce_ir ~ctx isigma ~drop_ids] — {!reduce} natively over the
+    pipeline IR: no conversion at either edge, and prune rounds diff the
+    partitioned-MinCover result into the live engine (removing stale nodes,
+    adding reduced ones) instead of rebuilding it — [rbr.engine_builds]
+    stays at one per call.  [prune] takes a prebuilt {!Ir.space} covering
+    every attribute the working set can mention. *)
+val reduce_ir :
+  ctx:Ir.ctx ->
+  ?prune:Ir.space * int ->
+  ?pool:Parallel.Pool.t ->
+  ?max_size:int ->
+  ?order:[ `Min_degree | `Given ] ->
+  Ir.t list ->
+  drop_ids:int list ->
+  Ir.t list * [ `Complete | `Truncated ]

@@ -12,10 +12,12 @@ Timings are environment-dependent and deliberately ignored.
 With --stats STATS_JSON, additionally validates the aggregated
 observability dump (bench/main.exe --stats-json): it must be
 well-formed JSON with a total counters section in which the pipeline's
-load-bearing counters — rbr.resolvents_generated and
-fast_impl.chase_rounds — are present and nonzero.  A zero there means
-the instrumented RBR/chase phases silently stopped running, which cover
-sizes alone would not reveal.
+load-bearing counters — rbr.resolvents_generated, fast_impl.chase_rounds,
+and the IR conversion edges ir.of_ast / ir.to_ast — are present and
+nonzero.  A zero on the first two means the instrumented RBR/chase
+phases silently stopped running; a zero on the IR edges means the
+pipeline stopped routing CFDs through the interned representation.
+Neither would show up in cover sizes alone.
 
 Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON] [--stats STATS_JSON]
 Exit status: 0 = no drift, 1 = drift or malformed input.
@@ -24,7 +26,12 @@ Exit status: 0 = no drift, 1 = drift or malformed input.
 import json
 import sys
 
-MANDATORY_COUNTERS = ("rbr.resolvents_generated", "fast_impl.chase_rounds")
+MANDATORY_COUNTERS = (
+    "rbr.resolvents_generated",
+    "fast_impl.chase_rounds",
+    "ir.of_ast",
+    "ir.to_ast",
+)
 
 
 def check_stats(path):

@@ -22,6 +22,9 @@ let checks =
     ("engine.pooled_prune_agrees", Test_engine.pooled_prune_agrees);
     ( "engine.instrumentation_transparent",
       Test_engine.instrumentation_transparent );
+    ("ir.roundtrip_canonical", Test_ir.roundtrip_canonical);
+    ("ir.cover_conversion_edges", Test_ir.cover_conversion_edges);
+    ("ir.mincover_ir_agrees", Test_ir.mincover_ir_agrees);
     ("oracle.oracle_holds", Test_oracle.oracle_holds);
     ("provenance.provenance_sound", Test_provenance.provenance_sound);
     ("provenance.witness_replays", Test_provenance.witness_replays);
@@ -35,6 +38,9 @@ let corpus =
     ("engine.masked_implies_agrees", [ 0; 13; 256; 31_337; 610_612 ]);
     ("engine.pooled_prune_agrees", [ 0; 5; 1_000; 86_028; 750_000 ]);
     ("engine.instrumentation_transparent", [ 0; 11; 2_024; 500_500 ]);
+    ("ir.roundtrip_canonical", [ 0; 42; 7_919; 123_456; 999_999 ]);
+    ("ir.cover_conversion_edges", [ 0; 11; 2_024; 500_500 ]);
+    ("ir.mincover_ir_agrees", [ 0; 13; 31_337; 86_028; 750_000 ]);
     ("oracle.oracle_holds", [ 0; 3; 17; 404; 6_174; 271_828; 999_999 ]);
     ("provenance.provenance_sound", [ 0; 9; 301; 28_657; 832_040 ]);
     ("provenance.witness_replays", [ 0; 21; 1_729; 65_537; 987_654 ]);

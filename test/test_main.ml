@@ -24,6 +24,7 @@ let () =
       ("workload", Test_workload.suite);
       ("syntax", Test_syntax.suite);
       ("properties", Test_properties.suite);
+      ("ir", Test_ir.suite);
       ("engine", Test_engine.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
