@@ -107,6 +107,14 @@ let record_span s dt =
 
 let now () = Unix.gettimeofday ()
 
+(* [Gc.minor_words] is a [@@noalloc] external reading the allocation
+   pointer, so the measurement itself stays off the heap; the subtraction
+   captures everything [f] put on the minor heap (promoted or not). *)
+let minor_allocated f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
 let span_name s =
   Mutex.lock reg_mutex;
   let n = if s < spans_reg.n then spans_reg.names.(s) else "?" in

@@ -60,6 +60,13 @@ val with_span : span -> (unit -> 'a) -> 'a
     exposed so instrumented libraries need no clock dependency. *)
 val now : unit -> float
 
+(** [minor_allocated f] runs [f ()] and returns the number of minor-heap
+    words it allocated ([Gc.minor_words] delta; the probe itself
+    allocates nothing).  This is the mechanical check behind the packed
+    kernel's zero-allocation steady-state contract — the kernel test
+    suite and the XL bench both assert on it. *)
+val minor_allocated : (unit -> unit) -> float
+
 (** Merge the calling domain's buffer into the global sink and clear
     it.  Cheap when the buffer is clean. *)
 val flush_domain : unit -> unit

@@ -222,12 +222,14 @@ module Ufi = struct
     contribs : Ir.t list array;
   }
 
-  let create n =
-    {
-      parent = Array.init n (fun i -> i);
-      keys = Array.make n None;
-      contribs = Array.make n [];
-    }
+  (* Borrow the context-owned scratch instead of allocating per call: the
+     arrays come back reset over ids [0 .. n-1] (and may be longer — all
+     indexing below goes through ids < n).  [compute_ir] interns while it
+     runs, so it already executes only on the context-owning domain, which
+     is exactly the single-writer discipline the borrow requires. *)
+  let borrow ctx n =
+    let parent, keys, contribs = Ir.scratch_uf ctx n in
+    { parent; keys; contribs }
 
   let rec find t a =
     let p = t.parent.(a) in
@@ -278,7 +280,7 @@ module Ufi = struct
 end
 
 let compute_ir ctx ~body ~selection ~sigma =
-  let uf = Ufi.create (Cfds.Interner.size (Ir.interner ctx)) in
+  let uf = Ufi.borrow ctx (Cfds.Interner.size (Ir.interner ctx)) in
   let track = Provenance.enabled () in
   try
     (* Seed with the selection condition F (Lemma 4.2); selection attribute

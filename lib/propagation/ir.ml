@@ -9,23 +9,53 @@ module I = Cfds.Interner
 let c_of_ast = Obs.counter "ir.of_ast"
 let c_to_ast = Obs.counter "ir.to_ast"
 
-type ctx = { interner : I.t; stamp : int }
+type t = {
+  rel : string;
+  lhs : (int * P.sym) array;
+  rhs : int * P.sym;
+}
+
+type ctx = {
+  interner : I.t;
+  stamp : int;
+  (* ComputeEQ's union-find scratch, keyed by interner id and owned by the
+     context so repeated [compute_ir] calls reuse one set of buffers.
+     Single-writer like [intern]: only the ctx-owning domain may borrow it
+     (ComputeEQ interns while it runs, so this already holds). *)
+  mutable uf_parent : int array;
+  mutable uf_keys : Relational.Value.t option array;
+  mutable uf_contribs : t list array;
+}
 
 let next_stamp = Atomic.make 0
 
 let create_ctx ?size () =
-  { interner = I.create ?size (); stamp = Atomic.fetch_and_add next_stamp 1 }
+  {
+    interner = I.create ?size ();
+    stamp = Atomic.fetch_and_add next_stamp 1;
+    uf_parent = [||];
+    uf_keys = [||];
+    uf_contribs = [||];
+  }
 
 let interner ctx = ctx.interner
 let stamp ctx = ctx.stamp
 let intern ctx a = I.intern ctx.interner a
 let name ctx id = I.name ctx.interner id
 
-type t = {
-  rel : string;
-  lhs : (int * P.sym) array;
-  rhs : int * P.sym;
-}
+let scratch_uf ctx n =
+  if Array.length ctx.uf_parent < n then begin
+    let cap = max n (2 * Array.length ctx.uf_parent) in
+    ctx.uf_parent <- Array.make cap 0;
+    ctx.uf_keys <- Array.make cap None;
+    ctx.uf_contribs <- Array.make cap []
+  end;
+  for i = 0 to n - 1 do
+    ctx.uf_parent.(i) <- i;
+    ctx.uf_keys.(i) <- None;
+    ctx.uf_contribs.(i) <- []
+  done;
+  (ctx.uf_parent, ctx.uf_keys, ctx.uf_contribs)
 
 let is_attr_eq ic =
   match ic.lhs, ic.rhs with
@@ -75,27 +105,37 @@ let attr_eq rel a b = { rel; lhs = [| (a, P.Svar) |]; rhs = (b, P.Svar) }
 let const_binding rel a v = { rel; lhs = [| (a, P.Wild) |]; rhs = (a, P.Const v) }
 let with_rel ic rel = { ic with rel }
 
+(* Index of [a] in the id-sorted LHS, or -1.  Allocation-free (unlike the
+   option-returning [lhs_pattern]) — [is_trivial] guards every implication
+   query of the packed chase kernel, whose steady state must not touch the
+   minor heap.  The search is a top-level recursion: a local [rec] would
+   close over the array and cost a closure per call. *)
+let rec lhs_bs (arr : (int * P.sym) array) a lo hi =
+  if lo >= hi then -1
+  else
+    let mid = (lo + hi) / 2 in
+    let i = fst arr.(mid) in
+    if i = a then mid
+    else if i < a then lhs_bs arr a (mid + 1) hi
+    else lhs_bs arr a lo mid
+
+let lhs_pattern_idx ic a = lhs_bs ic.lhs a 0 (Array.length ic.lhs)
+
 let lhs_pattern ic a =
-  let arr = ic.lhs in
-  let rec bs lo hi =
-    if lo >= hi then None
-    else
-      let mid = (lo + hi) / 2 in
-      let i, p = arr.(mid) in
-      if i = a then Some p else if i < a then bs (mid + 1) hi else bs lo mid
-  in
-  bs 0 (Array.length arr)
+  let k = lhs_pattern_idx ic a in
+  if k < 0 then None else Some (snd ic.lhs.(k))
 
 let is_trivial ic =
   if is_attr_eq ic then fst ic.lhs.(0) = fst ic.rhs
   else
     let a, eta2 = ic.rhs in
-    match lhs_pattern ic a with
-    | None -> false
-    | Some eta1 ->
-      P.equal eta1 eta2 || (P.is_const eta1 && P.equal eta2 P.Wild)
+    let k = lhs_pattern_idx ic a in
+    k >= 0
+    &&
+    let eta1 = snd ic.lhs.(k) in
+    P.equal eta1 eta2 || (P.is_const eta1 && P.equal eta2 P.Wild)
 
-let mentions a ic = fst ic.rhs = a || lhs_pattern ic a <> None
+let mentions a ic = fst ic.rhs = a || lhs_pattern_idx ic a >= 0
 
 let attrs_iter ic f =
   let r = fst ic.rhs in

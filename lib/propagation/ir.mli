@@ -47,6 +47,16 @@ type t = private {
   rhs : int * Cfds.Pattern.sym;
 }
 
+(** [scratch_uf ctx n] borrows the context-owned union-find scratch used
+    by ComputeEQ, reset over ids [0 .. n-1]: parents point at themselves,
+    keys are [None], contribution lists are empty.  The arrays may be
+    longer than [n] (they grow geometrically and are reused across calls)
+    — callers must index only with ids below [n].  Single-writer like
+    {!intern}: only the context-owning domain may borrow it, and a borrow
+    is valid until the next [scratch_uf] call on the same context. *)
+val scratch_uf :
+  ctx -> int -> int array * Relational.Value.t option array * t list array
+
 (** [make rel lhs rhs] sorts [lhs] by id and validates the same invariants
     as {!Cfds.Cfd.make}: distinct LHS ids, [Svar] only in the
     attribute-equality shape. *)

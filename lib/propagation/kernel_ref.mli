@@ -1,0 +1,43 @@
+(** The PR 5 implication kernel, frozen as a reference engine.
+
+    This is the positional union-find chase exactly as it shipped before the
+    packed-bitset rewrite of {!Fast_impl}: per-rule [int] applicability
+    masks (silently disabled past [Sys.int_size - 2] attributes), boxed
+    [(position, pattern)] premise rows, and per-call allocation of the
+    chase state.  It is kept for two jobs:
+
+    - the {e differential oracle} of the kernel-equivalence property suite
+      ([test/test_kernel.ml]): the packed chase must agree with it on every
+      query;
+    - the {e A/B baseline} of the XL benchmark sweep ([bench --xl]): the
+      pipeline runs end to end on either kernel via
+      {!Fast_impl.engine}, so speedups are measured interleaved on
+      identical inputs.
+
+    Its observability counters are prefixed [fast_impl_ref.*] so A/B runs
+    keep the two engines' tallies apart.  Do not optimise this module —
+    its value is standing still. *)
+
+open Relational
+
+type compiled
+
+val compile : Schema.relation -> Cfds.Cfd.t list -> compiled
+val compile_ir : Ir.space -> Ir.t list -> compiled
+val set_rule_ir : compiled -> Ir.space -> int -> Ir.t -> unit
+val num_rules : compiled -> int
+
+(** Masks are bytes over rule indices, byte [i] nonzero iff rule [i] is
+    enabled — the representation is shared with {!Fast_impl} so the
+    dispatching wrappers there can hand one mask to either engine. *)
+type mask = Bytes.t
+
+val full_mask : compiled -> mask
+val mask_clear : mask -> int -> unit
+val mask_set : mask -> int -> unit
+val mask_mem : mask -> int -> bool
+
+val implies : ?mask:mask -> ?fired:Bytes.t -> compiled -> Cfds.Cfd.t -> bool
+
+val implies_ir :
+  ?mask:mask -> ?fired:Bytes.t -> Ir.space -> compiled -> Ir.t -> bool

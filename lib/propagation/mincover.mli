@@ -17,12 +17,21 @@ open Relational
       [Σ |= (X∖C → A, (tp\[X∖C\] ‖ tp\[A\]))] are removed;
     - CFDs implied by the rest are removed.
 
-    All CFDs must be over [schema] (same relation). *)
-val minimal_cover : Schema.relation -> Cfds.Cfd.t list -> Cfds.Cfd.t list
+    All CFDs must be over [schema] (same relation).
+
+    [?engine] selects the implication kernel (packed by default; the
+    frozen {!Kernel_ref} for differential runs) — the cover is identical
+    either way, by chase confluence. *)
+val minimal_cover :
+  ?engine:Fast_impl.engine ->
+  Schema.relation ->
+  Cfds.Cfd.t list ->
+  Cfds.Cfd.t list
 
 (** [minimal_cover_db db sigma] groups [sigma] by relation and covers each
     group independently (CFDs on different relations never interact). *)
-val minimal_cover_db : Schema.db -> Cfds.Cfd.t list -> Cfds.Cfd.t list
+val minimal_cover_db :
+  ?engine:Fast_impl.engine -> Schema.db -> Cfds.Cfd.t list -> Cfds.Cfd.t list
 
 (** [prune_partitioned schema ~chunk sigma] is the optimisation of
     Section 4.3: partition [sigma] into chunks of size [chunk] and minimise
@@ -32,6 +41,7 @@ val minimal_cover_db : Schema.db -> Cfds.Cfd.t list -> Cfds.Cfd.t list
     the sequential run (order-preserving map). *)
 val prune_partitioned :
   ?pool:Parallel.Pool.t ->
+  ?engine:Fast_impl.engine ->
   Schema.relation ->
   chunk:int ->
   Cfds.Cfd.t list ->
@@ -44,16 +54,19 @@ val prune_partitioned :
     relation re-homing (the pipeline interior keeps one uniform relation
     per site).  Never interns, so it is safe on pool workers with a
     prebuilt [space]. *)
-val minimal_cover_ir : Ir.ctx -> Ir.space -> Ir.t list -> Ir.t list
+val minimal_cover_ir :
+  ?engine:Fast_impl.engine -> Ir.ctx -> Ir.space -> Ir.t list -> Ir.t list
 
 (** [minimal_cover_db_ir ctx db isigma] groups by relation and covers each
     group over its schema's space. *)
-val minimal_cover_db_ir : Ir.ctx -> Schema.db -> Ir.t list -> Ir.t list
+val minimal_cover_db_ir :
+  ?engine:Fast_impl.engine -> Ir.ctx -> Schema.db -> Ir.t list -> Ir.t list
 
 (** [prune_partitioned_ir ctx space ~chunk isigma] — {!prune_partitioned}
     on the IR path. *)
 val prune_partitioned_ir :
   ?pool:Parallel.Pool.t ->
+  ?engine:Fast_impl.engine ->
   Ir.ctx ->
   Ir.space ->
   chunk:int ->

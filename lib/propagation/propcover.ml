@@ -20,6 +20,7 @@ type options = {
   skip_initial_mincover : bool;
   rbr_order : [ `Min_degree | `Given ];
   pool : Parallel.Pool.t option;
+  kernel : Fast_impl.engine;
 }
 
 (* The paper's own implementation partitions the working set and minimises
@@ -31,6 +32,7 @@ let default_options =
     skip_initial_mincover = false;
     rbr_order = `Min_degree;
     pool = None;
+    kernel = `Packed;
   }
 
 type result = {
@@ -154,7 +156,8 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
     if options.skip_initial_mincover then isigma
     else
       Obs.with_span_traced s_initial_mincover (fun () ->
-          Mincover.minimal_cover_db_ir ctx v.Spc.source isigma)
+          Mincover.minimal_cover_db_ir ~engine:options.kernel ctx v.Spc.source
+            isigma)
   in
   (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
   let sigma_v =
@@ -234,7 +237,7 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
     in
     let sigma_c, completeness =
       Obs.with_span_traced s_rbr (fun () ->
-          Rbr.reduce_ir ~ctx ?prune ?pool:options.pool
+          Rbr.reduce_ir ~ctx ?prune ?pool:options.pool ~engine:options.kernel
             ?max_size:options.max_intermediate ~order:options.rbr_order sigma_v
             ~drop_ids)
     in
@@ -267,7 +270,7 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
     let vspace = Ir.space_of_schema ctx view_schema in
     let cover_ir =
       Obs.with_span_traced s_final_mincover (fun () ->
-          Mincover.minimal_cover_ir ctx vspace all)
+          Mincover.minimal_cover_ir ~engine:options.kernel ctx vspace all)
     in
     (* The exit edge. *)
     let cover = List.sort C.compare (List.map (Ir.to_ast ctx) cover_ir) in
@@ -340,7 +343,7 @@ let cover_spcu ?(options = default_options) (view : Spcu.t) sigma =
     in
     let schema = Spcu.view_schema view in
     {
-      cover = Mincover.minimal_cover schema certified;
+      cover = Mincover.minimal_cover ~engine:options.kernel schema certified;
       complete = List.for_all (fun (_, r) -> r.complete) branch_results;
       always_empty = false;
     }

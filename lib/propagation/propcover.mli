@@ -25,6 +25,10 @@ type options = {
   pool : Parallel.Pool.t option;
       (** domain pool for the partitioned pruning inside RBR; [None] (the
           default) keeps everything on the calling domain *)
+  kernel : Fast_impl.engine;
+      (** implication kernel for every MinCover in the pipeline:
+          [`Packed] (the default) or the frozen [`Reference] PR 5 engine —
+          covers are identical either way (the XL bench A/B asserts it) *)
 }
 
 val default_options : options

@@ -207,7 +207,7 @@ let drop_indexed sigma a =
   Engine.drop_attr eng (Ir.intern ctx a);
   Engine.extract eng
 
-let reduce_ir ~ctx ?prune ?pool ?max_size ?(order = `Min_degree) isigma
+let reduce_ir ~ctx ?prune ?pool ?engine ?max_size ?(order = `Min_degree) isigma
     ~drop_ids =
   (* Constant-RHS CFDs shed their wildcard LHS attributes first: otherwise a
      projected-away wildcard attribute would drag an equivalent, still
@@ -234,7 +234,7 @@ let reduce_ir ~ctx ?prune ?pool ?max_size ?(order = `Min_degree) isigma
       Obs.with_span s_prune (fun () ->
           let live = Engine.extract_ir eng in
           let pruned =
-            Mincover.prune_partitioned_ir ?pool ctx space ~chunk live
+            Mincover.prune_partitioned_ir ?pool ?engine ctx space ~chunk live
           in
           last_pruned := max 256 (List.length pruned);
           let keep = Hashtbl.create 256 in
@@ -285,7 +285,7 @@ let reduce_ir ~ctx ?prune ?pool ?max_size ?(order = `Min_degree) isigma
   in
   Obs.with_span s_reduce (fun () -> go drop_ids)
 
-let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
+let reduce ?prune ?pool ?engine ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
   let ctx = Ir.create_ctx () in
   let isigma = List.map (Ir.of_ast ctx) sigma in
   let drop_ids = List.map (Ir.intern ctx) drop_attrs in
@@ -295,6 +295,6 @@ let reduce ?prune ?pool ?max_size ?(order = `Min_degree) sigma ~drop_attrs =
       prune
   in
   let irs, completeness =
-    reduce_ir ~ctx ?prune ?pool ?max_size ~order isigma ~drop_ids
+    reduce_ir ~ctx ?prune ?pool ?engine ?max_size ~order isigma ~drop_ids
   in
   (List.sort_uniq C.compare (List.map (Ir.to_ast ctx) irs), completeness)

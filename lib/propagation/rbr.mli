@@ -58,6 +58,7 @@ val drop_indexed : Cfds.Cfd.t list -> string -> Cfds.Cfd.t list
 val reduce :
   ?prune:Schema.relation * int ->
   ?pool:Parallel.Pool.t ->
+  ?engine:Fast_impl.engine ->
   ?max_size:int ->
   ?order:[ `Min_degree | `Given ] ->
   Cfds.Cfd.t list ->
@@ -74,6 +75,7 @@ val reduce_ir :
   ctx:Ir.ctx ->
   ?prune:Ir.space * int ->
   ?pool:Parallel.Pool.t ->
+  ?engine:Fast_impl.engine ->
   ?max_size:int ->
   ?order:[ `Min_degree | `Given ] ->
   Ir.t list ->

@@ -13,11 +13,18 @@ With --stats STATS_JSON, additionally validates the aggregated
 observability dump (bench/main.exe --stats-json): it must be
 well-formed JSON with a total counters section in which the pipeline's
 load-bearing counters — rbr.resolvents_generated, fast_impl.chase_rounds,
-and the IR conversion edges ir.of_ast / ir.to_ast — are present and
-nonzero.  A zero on the first two means the instrumented RBR/chase
+the IR conversion edges ir.of_ast / ir.to_ast, and the packed kernel's
+fast_impl.mask_prune_skips / fast_impl.arena_resets — are present and
+nonzero.  A zero on the RBR/chase counters means the instrumented
 phases silently stopped running; a zero on the IR edges means the
-pipeline stopped routing CFDs through the interned representation.
-Neither would show up in cover sizes alone.
+pipeline stopped routing CFDs through the interned representation; a
+zero on mask_prune_skips or arena_resets means the flat-bitset kernel
+stopped pruning or stopped reusing its arena (the PR 5 wide-schema bug
+was exactly a silent mask_prune_skips = 0).  None of these would show
+up in cover sizes alone.
+
+The same script validates the XL sweep baseline: point rows there carry
+extra "gc"/"ab" objects, which the cover comparison ignores.
 
 Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON] [--stats STATS_JSON]
 Exit status: 0 = no drift, 1 = drift or malformed input.
@@ -31,6 +38,8 @@ MANDATORY_COUNTERS = (
     "fast_impl.chase_rounds",
     "ir.of_ast",
     "ir.to_ast",
+    "fast_impl.mask_prune_skips",
+    "fast_impl.arena_resets",
 )
 
 

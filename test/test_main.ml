@@ -15,6 +15,7 @@ let () =
       ("paper-theorems", Test_paper_theorems.suite);
       ("implication", Test_implication.suite);
       ("fast-impl", Test_fast_impl.suite);
+      ("kernel", Test_kernel.suite);
       ("mincover", Test_mincover.suite);
       ("compute-eq", Test_computeeq.suite);
       ("rbr", Test_rbr.suite);
