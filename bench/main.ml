@@ -450,6 +450,164 @@ let xl () =
   json_figures := ("xl", "|Sigma|", rows) :: !json_figures
 
 (* ---------------------------------------------------------------------- *)
+(* Fleet sweep (--fleet): one Σ through N views, shared-memo Fleet.run vs
+   N independent cover calls, interleaved in the same process on the same
+   generated workload.  Any per-view cover that is not byte-identical
+   between the two paths aborts the sweep — the memo must be semantically
+   invisible.  The x-axis is the fleet size; --views caps it, --overlap
+   sets the duplicate fraction (see Workload.Fleet_gen). *)
+
+let fleet_views = ref 64
+let fleet_overlap = ref 0.5
+let fleet_sigma_n = ref 800
+
+let covers_equal a b =
+  List.length a = List.length b && List.for_all2 C.equal a b
+
+type fleet_run = {
+  fl_independent : float;
+  fl_fleet : float;
+  fl_cover : int;  (** total cover CFDs across the fleet *)
+  fl_empty : int;  (** always-empty views *)
+  fl_classes : int;
+  fl_hits : int;  (** views served from the memo *)
+}
+
+let fleet_run_one ~seed ~nviews ~var_pct =
+  let rng = Workload.Rng.make seed in
+  let schema = Workload.Schema_gen.default rng in
+  let sigma =
+    Workload.Cfd_gen.generate rng ~schema ~count:!fleet_sigma_n ~max_lhs:9
+      ~var_pct
+  in
+  let views =
+    Workload.Fleet_gen.generate ~seed ~schema ~n:nviews
+      ~overlap:!fleet_overlap ~y:25 ~f:10 ~ec:4
+  in
+  let t_ind, independent =
+    time (fun () -> List.map (fun v -> P.Propcover.cover v sigma) views)
+  in
+  let options = { P.Fleet.default_options with P.Fleet.pool = !pool } in
+  let t_fleet, fr = time (fun () -> P.Fleet.run ~options views sigma) in
+  List.iter2
+    (fun (ind : P.Propcover.result) (r : P.Fleet.view_result) ->
+      if not (covers_equal ind.P.Propcover.cover r.P.Fleet.cover) then begin
+        Fmt.epr
+          "FLEET A/B cover mismatch at N=%d var%%=%d seed %d view %s: \
+           independent %d CFDs vs fleet %d CFDs@."
+          nviews var_pct seed r.P.Fleet.view.Relational.Spc.name
+          (List.length ind.P.Propcover.cover)
+          (List.length r.P.Fleet.cover);
+        exit 1
+      end)
+    independent fr.P.Fleet.results;
+  {
+    fl_independent = t_ind;
+    fl_fleet = t_fleet;
+    fl_cover =
+      List.fold_left
+        (fun acc (r : P.Fleet.view_result) ->
+          acc + List.length r.P.Fleet.cover)
+        0 fr.P.Fleet.results;
+    fl_empty =
+      List.length
+        (List.filter (fun r -> r.P.Fleet.always_empty) fr.P.Fleet.results);
+    fl_classes = fr.P.Fleet.classes;
+    fl_hits =
+      List.length
+        (List.filter (fun r -> r.P.Fleet.memo_hit) fr.P.Fleet.results);
+  }
+
+let fleet_point ~nviews ~var_pct =
+  let runs =
+    List.init !seeds (fun s ->
+        fleet_run_one ~seed:(3000 + (7 * s)) ~nviews ~var_pct)
+  in
+  let point =
+    {
+      runtime = mean (List.map (fun r -> r.fl_fleet) runs);
+      (* Mean cover size per view: comparable across fleet sizes and
+         deterministic per seed — what the drift guard pins. *)
+      cover =
+        imean (List.map (fun r -> r.fl_cover) runs) /. float_of_int nviews;
+      empty_frac =
+        mean
+          (List.map
+             (fun r -> float_of_int r.fl_empty /. float_of_int nviews)
+             runs);
+    }
+  in
+  let independent = mean (List.map (fun r -> r.fl_independent) runs) in
+  let classes = imean (List.map (fun r -> r.fl_classes) runs) in
+  let hits = imean (List.map (fun r -> r.fl_hits) runs) in
+  (point, independent, classes, hits)
+
+let fleet () =
+  let points =
+    List.filter (fun n -> n <= !fleet_views) [ 4; 8; 16; 32; 64 ]
+  in
+  let points =
+    match !max_points with Some n -> take n points | None -> points
+  in
+  Fmt.pr
+    "@.== Fleet sweep: N views, overlap %.2f, |Sigma|=%d — shared memo vs \
+     independent covers (A/B, byte-identical required) ==@."
+    !fleet_overlap !fleet_sigma_n;
+  Fmt.pr "%-8s %12s %12s %10s %10s %9s %9s %8s %8s@." "N" "fleet40(s)"
+    "fleet50(s)" "indep40" "indep50" "speedup40" "speedup50" "classes"
+    "hits";
+  let rows =
+    List.map
+      (fun nviews ->
+        if !stats_on || !trace_path <> None then Obs.reset ();
+        let p40, ind40, classes40, hits40 = fleet_point ~nviews ~var_pct:40 in
+        let p50, ind50, classes50, hits50 = fleet_point ~nviews ~var_pct:50 in
+        (match !trace_path with
+         | Some base ->
+           Obs.write_trace (Printf.sprintf "%s.fleet.x%d.json" base nviews);
+           Obs.write_trace base
+         | None -> ());
+        let stats =
+          if !stats_on then begin
+            let s = Obs.snapshot () in
+            Obs.reset ();
+            Some s
+          end
+          else None
+        in
+        Fmt.pr "%-8d %12.3f %12.3f %10.3f %10.3f %8.2fx %8.2fx %8.1f %8.1f@."
+          nviews p40.runtime p50.runtime ind40 ind50 (ind40 /. p40.runtime)
+          (ind50 /. p50.runtime)
+          ((classes40 +. classes50) /. 2.)
+          ((hits40 +. hits50) /. 2.);
+        let extras =
+          Printf.sprintf
+            ", \"fleet\": {\"views\": %d, \"overlap\": %.2f, \
+             \"independent40_s\": %.6f, \"independent50_s\": %.6f, \
+             \"speedup40\": %.3f, \"speedup50\": %.3f, \"classes40\": %.1f, \
+             \"classes50\": %.1f, \"memo_hits40\": %.1f, \"memo_hits50\": \
+             %.1f, \"covers_match\": true}"
+            nviews !fleet_overlap ind40 ind50 (ind40 /. p40.runtime)
+            (ind50 /. p50.runtime) classes40 classes50 hits40 hits50
+        in
+        (nviews, p40, p50, stats, extras))
+      points
+  in
+  if !stats_on then begin
+    let total =
+      List.fold_left
+        (fun acc (_, _, _, s, _) ->
+          match s with Some s -> Obs.merge acc s | None -> acc)
+        Obs.empty_snapshot rows
+    in
+    figure_stats := ("fleet", total) :: !figure_stats;
+    grand_stats := Obs.merge !grand_stats total;
+    Fmt.pr "@.-- fleet observability (all points, both var%% settings) --@.%a"
+      Obs.pp total
+  end;
+  json_figures := ("fleet", "N", rows) :: !json_figures
+
+(* ---------------------------------------------------------------------- *)
 (* Tables 1 and 2: one decision-procedure demonstration per decidable      *)
 (* cell.  PTIME cells run the chase procedure on growing inputs (times     *)
 (* grow polynomially); coNP cells run the instantiation procedure on a     *)
@@ -875,6 +1033,7 @@ let run_one = function
   | "decide" -> decide_bench ()
   | "ablation" -> ablation ()
   | "xl" -> xl ()
+  | "fleet" -> fleet ()
   | other ->
     Fmt.epr "unknown experiment %s (expected: %s)@." other
       (String.concat ", " all);
@@ -884,6 +1043,7 @@ let () =
   Format.pp_set_margin Format.std_formatter 10_000;
   let domains = ref 0 in
   let want_xl = ref false in
+  let want_fleet = ref false in
   let rec parse args acc =
     match args with
     | "--seeds" :: n :: rest ->
@@ -914,12 +1074,27 @@ let () =
     | "--ab-max" :: n :: rest ->
       ab_max := int_of_string n;
       parse rest acc
+    | "--fleet" :: rest ->
+      want_fleet := true;
+      parse rest acc
+    | "--views" :: n :: rest ->
+      fleet_views := int_of_string n;
+      parse rest acc
+    | "--overlap" :: f :: rest ->
+      fleet_overlap := float_of_string f;
+      parse rest acc
+    | "--fleet-sigma" :: n :: rest ->
+      fleet_sigma_n := int_of_string n;
+      parse rest acc
     | x :: rest -> parse rest (x :: acc)
     | [] -> List.rev acc
   in
   let chosen = parse (List.tl (Array.to_list Sys.argv)) [] in
-  let chosen = if chosen = [] && not !want_xl then all else chosen in
+  let chosen =
+    if chosen = [] && not !want_xl && not !want_fleet then all else chosen
+  in
   let chosen = chosen @ (if !want_xl then [ "xl" ] else []) in
+  let chosen = chosen @ (if !want_fleet then [ "fleet" ] else []) in
   if !stats_on then Obs.set_enabled true;
   if !trace_path <> None then Obs.set_trace_enabled true;
   if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());

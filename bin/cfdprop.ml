@@ -131,6 +131,87 @@ let cover path view_name chunk bound stats stats_json why provenance_json =
   end;
   0
 
+(* Propagate the source CFDs through every declared view in one shared-memo
+   fleet run; then check any declared view-level CFDs against the fleet's
+   covers (isomorphic views share implication verdicts through the memo). *)
+let fleet path views_csv domains stats stats_json =
+  let doc = load path in
+  warn_finite doc;
+  let views =
+    match views_csv with
+    | None -> doc.Parser.views
+    | Some csv ->
+      let wanted = String.split_on_char ',' csv in
+      List.map (fun n -> find_view doc (Some n)) wanted
+  in
+  if views = [] then begin
+    Fmt.epr "the file declares no view@.";
+    exit 2
+  end;
+  let sigma = source_cfds doc in
+  if stats || stats_json <> None then Obs.set_enabled true;
+  let pool =
+    if domains > 1 then Some (Parallel.Pool.create ~size:domains ()) else None
+  in
+  let options = { Propagation.Fleet.default_options with Propagation.Fleet.pool } in
+  let fr = Propagation.Fleet.run ~options views sigma in
+  List.iter
+    (fun (r : Propagation.Fleet.view_result) ->
+      Fmt.pr "@.## view %s — %s%s@." r.Propagation.Fleet.view.Spc.name
+        (if r.Propagation.Fleet.memo_hit then "cover shared from an isomorphic view"
+         else "cover computed")
+        (if r.Propagation.Fleet.always_empty then
+           " (the view is empty on every source satisfying the CFDs)"
+         else "");
+      List.iter
+        (fun c -> Fmt.pr "%a@." Parser.print_cfd c)
+        r.Propagation.Fleet.cover;
+      Fmt.pr "# %d CFD(s)@." (List.length r.Propagation.Fleet.cover))
+    fr.Propagation.Fleet.results;
+  (* Declared view-level CFDs double as propagation questions. *)
+  let failures = ref 0 in
+  let in_fleet rel = List.exists (fun (v : Spc.t) -> v.Spc.name = rel) views in
+  let questions =
+    List.filter
+      (fun c ->
+        (not (Schema.mem doc.Parser.schema c.Cfds.Cfd.rel))
+        && (views_csv = None || in_fleet c.Cfds.Cfd.rel))
+      doc.Parser.cfds
+  in
+  if questions <> [] then Fmt.pr "@.";
+  List.iter
+    (fun c ->
+      match
+        Propagation.Fleet.propagates fr ~view:c.Cfds.Cfd.rel c
+      with
+      | `Propagated -> Fmt.pr "PROPAGATED:     %a@." Parser.print_cfd c
+      | `Not_propagated ->
+        incr failures;
+        Fmt.pr "NOT PROPAGATED: %a@." Parser.print_cfd c
+      | `Unknown_view ->
+        incr failures;
+        Fmt.pr "UNKNOWN VIEW:   %a@." Parser.print_cfd c)
+    questions;
+  Fmt.pr "@.# fleet: %d view(s) in %d canonical class(es), %d memo entr%s@."
+    (List.length fr.Propagation.Fleet.results)
+    fr.Propagation.Fleet.classes
+    (Propagation.Memo.entries fr.Propagation.Fleet.memo)
+    (if Propagation.Memo.entries fr.Propagation.Fleet.memo = 1 then "y" else "ies");
+  if Obs.enabled () then begin
+    let s = Obs.snapshot () in
+    if stats then Fmt.epr "%a" Obs.pp s;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Obs.to_json s);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "# wrote engine stats to %s@." path)
+      stats_json
+  end;
+  Option.iter Parallel.Pool.shutdown pool;
+  if !failures = 0 then 0 else 1
+
 let parse_view_cfd (doc : Parser.document) text =
   match Parser.parse_document (Printf.sprintf "cfd %s;" text) with
   | Ok { Parser.cfds = [ c ]; _ } -> c
@@ -423,6 +504,46 @@ let empty_cmd =
        ~doc:"Decide whether the view is empty on every CFD-satisfying source.")
     Term.(const empty $ path_arg $ view_arg $ budget_arg)
 
+let fleet_cmd =
+  let views_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "views" ] ~docv:"V1,V2,..."
+          ~doc:"Comma-separated view names to propagate (default: all declared views).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Propagate the views over a pool of $(docv) worker domains.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Record engine counters (including memo hit/miss rates) and \
+             per-phase timing spans during the fleet run and print them to \
+             stderr.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH"
+          ~doc:"Write the recorded engine stats to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Propagate the source CFDs through every declared view in one run, \
+          sharing covers and implication verdicts between isomorphic views \
+          through a cross-view memo; declared view-level CFDs are checked \
+          against the fleet covers.")
+    Term.(const fleet $ path_arg $ views_csv $ domains $ stats $ stats_json)
+
 let audit_cmd =
   let repair_flag =
     Arg.(
@@ -448,4 +569,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ validate_cmd; cover_cmd; check_cmd; explain_cmd; empty_cmd; audit_cmd ]))
+          [
+            validate_cmd;
+            cover_cmd;
+            check_cmd;
+            explain_cmd;
+            empty_cmd;
+            fleet_cmd;
+            audit_cmd;
+          ]))

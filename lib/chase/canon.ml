@@ -1,0 +1,143 @@
+open Relational
+
+type renaming = {
+  view_name : string;
+  to_canonical : (string * string) list;
+  of_canonical : (string * string) list;
+}
+
+let reserved_prefix = '~'
+let canonical_view_name = "~V"
+let reserved s = String.length s > 0 && s.[0] = reserved_prefix
+let atom_attr j i = Printf.sprintf "~%d_%d" j i
+let rc_attr k = Printf.sprintf "~c%d" k
+
+let uses_reserved (v : Spc.t) =
+  reserved v.Spc.name
+  || List.exists
+       (fun (a : Spc.atom) ->
+         reserved a.Spc.base
+         || List.exists (fun at -> reserved (Attribute.name at)) a.Spc.attrs)
+       v.Spc.atoms
+  || List.exists (fun (a, _) -> reserved (Attribute.name a)) v.Spc.constants
+  || List.exists
+       (fun r ->
+         reserved (Schema.relation_name r)
+         || List.exists (fun at -> reserved (Attribute.name at))
+              (Schema.attributes r))
+       (Schema.relations v.Spc.source)
+
+let canonicalize (v : Spc.t) =
+  if uses_reserved v then
+    Error "Canon: reserved '~' attribute or relation name in view or schema"
+  else begin
+    let fwd = Hashtbl.create 32 in
+    let pairs = ref [] in
+    let bind orig canon =
+      Hashtbl.replace fwd orig canon;
+      pairs := (orig, canon) :: !pairs
+    in
+    List.iteri
+      (fun j (a : Spc.atom) ->
+        List.iteri
+          (fun i at -> bind (Attribute.name at) (atom_attr j i))
+          a.Spc.attrs)
+      v.Spc.atoms;
+    List.iteri
+      (fun k (a, _) -> bind (Attribute.name a) (rc_attr k))
+      v.Spc.constants;
+    let rn n = Option.value ~default:n (Hashtbl.find_opt fwd n) in
+    let atoms =
+      List.mapi
+        (fun j (a : Spc.atom) ->
+          Spc.atom v.Spc.source a.Spc.base
+            (List.mapi (fun i _ -> atom_attr j i) a.Spc.attrs))
+        v.Spc.atoms
+    in
+    let selection =
+      List.map
+        (function
+          | Spc.Sel_eq (a, b) -> Spc.Sel_eq (rn a, rn b)
+          | Spc.Sel_const (a, c) -> Spc.Sel_const (rn a, c))
+        v.Spc.selection
+    in
+    let constants =
+      List.map
+        (fun (a, value) -> (Attribute.rename a (rn (Attribute.name a)), value))
+        v.Spc.constants
+    in
+    let projection = List.map rn v.Spc.projection in
+    match
+      Spc.make ~source:v.Spc.source ~name:canonical_view_name ~constants
+        ~selection ~atoms ~projection ()
+    with
+    | Error e -> Error ("Canon: " ^ e)
+    | Ok canon ->
+      let to_canonical = List.rev !pairs in
+      let of_canonical = List.map (fun (o, c) -> (c, o)) to_canonical in
+      Ok (canon, { view_name = v.Spc.name; to_canonical; of_canonical })
+  end
+
+let verified (v : Spc.t) (canon : Spc.t) ren =
+  let gen = Term.make_gen () in
+  match (Tableau.of_spc ~gen v, Tableau.of_spc ~gen canon) with
+  | Error `Statically_empty, Error `Statically_empty -> true
+  | Ok t, Ok tc ->
+    (* Pull the canonical summary back through the renaming so the two
+       summaries speak the same attribute names, then ask for mutual
+       homomorphisms — the Chandra–Merlin equivalence check. *)
+    let summary =
+      List.map
+        (fun (a, term) ->
+          ( (match List.assoc_opt a ren.of_canonical with
+             | Some o -> o
+             | None -> a),
+            term ))
+        tc.Tableau.summary
+    in
+    let tc = { tc with Tableau.summary } in
+    Homomorphism.equivalent t tc
+  | _ -> false
+
+(* A '\x1f'-separated serialisation of the canonical skeleton.  Attribute
+   names here are the canonical "~j_i" names, so the string depends only on
+   the view's positional structure, never on user-chosen names. *)
+let key (v : Spc.t) =
+  let b = Buffer.create 256 in
+  let sep () = Buffer.add_char b '\x1f' in
+  List.iter
+    (fun (a : Spc.atom) ->
+      Buffer.add_char b 'a';
+      Buffer.add_string b a.Spc.base;
+      sep ())
+    v.Spc.atoms;
+  List.iter
+    (fun s ->
+      (match s with
+       | Spc.Sel_eq (x, y) ->
+         Buffer.add_char b 'e';
+         Buffer.add_string b x;
+         Buffer.add_char b '=';
+         Buffer.add_string b y
+       | Spc.Sel_const (x, c) ->
+         Buffer.add_char b 'k';
+         Buffer.add_string b x;
+         Buffer.add_char b '=';
+         Buffer.add_string b (Value.to_string c));
+      sep ())
+    v.Spc.selection;
+  List.iter
+    (fun (a, value) ->
+      Buffer.add_char b 'c';
+      Buffer.add_string b (Attribute.name a);
+      Buffer.add_char b '=';
+      Buffer.add_string b (Value.to_string value);
+      sep ())
+    v.Spc.constants;
+  List.iter
+    (fun y ->
+      Buffer.add_char b 'p';
+      Buffer.add_string b y;
+      sep ())
+    v.Spc.projection;
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** View canonicalisation for cross-view work sharing: map an SPC view to
+    a canonical representative that differs only by an attribute renaming,
+    so syntactically different but isomorphic views key to the same memo
+    entry (the fleet driver's cache line).
+
+    The canonical form is the {e order-preserving positional renaming}:
+    atom [j]'s [i]-th attribute becomes ["~j_i"], the [k]-th [Rc] attribute
+    becomes ["~ck"], and the view is renamed ["~V"].  Atom order, selection
+    order, projection order and every constant are kept exactly as given.
+    This is deliberately weaker than full homomorphic minimisation: the
+    [PropCFD_SPC] pipeline is renaming-equivariant (its interior works on
+    first-intern ids, and a renaming that preserves structural order yields
+    an id-isomorphic run), so the cover computed on the canonical view maps
+    back {e byte-identically} through the inverse renaming — reordering or
+    dropping atoms would instead produce an equivalent-but-different
+    minimal cover and break A/B comparisons.
+
+    {!Homomorphism} is still used, but as a {e verifier}: {!verified}
+    checks that the canonical view's tableau, pulled back through the
+    renaming, is equivalent to the original's — a cheap soundness gate the
+    fleet driver runs before trusting a shared cache entry. *)
+
+open Relational
+
+type renaming = {
+  view_name : string;  (** the original view's name *)
+  to_canonical : (string * string) list;  (** original attr → canonical *)
+  of_canonical : (string * string) list;  (** canonical attr → original *)
+}
+
+(** The reserved name prefix ['~'].  {!canonicalize} refuses views whose
+    source schema or own attribute names already use it, so canonical
+    names can never collide with user names. *)
+val reserved_prefix : char
+
+(** [canonicalize v] is the canonical representative of [v] together with
+    the renaming that produced it.  [Error _] when [v] (or its source
+    schema) uses the reserved ['~'] prefix — callers fall back to an
+    unshared computation. *)
+val canonicalize : Spc.t -> (Spc.t * renaming, string) result
+
+(** [verified v canon ren] checks the canonicalisation was sound: the
+    tableau of [canon], with its summary pulled back through
+    [ren.of_canonical], is homomorphically equivalent to the tableau of
+    [v] (both statically empty also counts). *)
+val verified : Spc.t -> Spc.t -> renaming -> bool
+
+(** [key v] serialises the {e canonical} skeleton of a view — base
+    relations, selection, constants, projection, all over the canonical
+    attribute names — into a string suitable as (part of) a memo key.
+    Two views canonicalise to representatives with equal [key]s iff they
+    are positional renamings of each other. *)
+val key : Spc.t -> string

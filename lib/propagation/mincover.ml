@@ -223,18 +223,38 @@ let minimal_cover_ir ?engine ctx space isigma =
   Array.iteri (fun i phi -> if not redundant.(i) then out := phi :: !out) arr;
   List.sort_uniq Ir.compare !out
 
-let minimal_cover_db_ir ?engine ctx db isigma =
+let minimal_cover_db_ir ?memo ?engine ctx db isigma =
   let groups = Hashtbl.create 8 in
   List.iter
     (fun ic ->
       let g = Option.value ~default:[] (Hashtbl.find_opt groups ic.Ir.rel) in
       Hashtbl.replace groups ic.Ir.rel (ic :: g))
     isigma;
+  (* One slice per source relation.  With a memo, the per-relation result
+     is cached as ASTs under the caller's namespace (which digests Σ and
+     the engine): every fleet view re-interns the same slice instead of
+     re-minimising it.  Re-interning a cached slice in a fresh context
+     reproduces the direct computation exactly — the slice CFDs' attribute
+     ids were all fixed by the Σ interning pass that precedes line 1. *)
+  let cover_group rel g =
+    let direct () =
+      minimal_cover_ir ?engine ctx (Ir.space_of_schema ctx rel) (List.rev g)
+    in
+    match memo with
+    | None -> direct ()
+    | Some (m, ns) ->
+      let key = "slice:" ^ ns ^ ":" ^ Schema.relation_name rel in
+      (match Memo.find m key with
+       | Some (Memo.Cfds asts) -> List.map (Ir.of_ast ctx) asts
+       | Some _ | None ->
+         let cover = direct () in
+         Memo.add m key (Memo.Cfds (List.map (Ir.to_ast ctx) cover));
+         cover)
+  in
   Schema.relations db
   |> List.concat_map (fun rel ->
          match Hashtbl.find_opt groups (Schema.relation_name rel) with
-         | Some g ->
-           minimal_cover_ir ?engine ctx (Ir.space_of_schema ctx rel) (List.rev g)
+         | Some g -> cover_group rel g
          | None -> [])
 
 let prune_partitioned_ir ?pool ?engine ctx space ~chunk isigma =

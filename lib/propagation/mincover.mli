@@ -58,9 +58,18 @@ val minimal_cover_ir :
   ?engine:Fast_impl.engine -> Ir.ctx -> Ir.space -> Ir.t list -> Ir.t list
 
 (** [minimal_cover_db_ir ctx db isigma] groups by relation and covers each
-    group over its schema's space. *)
+    group over its schema's space.  With [memo], each relation's slice
+    cover is cached (as ASTs, re-interned on hit) under
+    ["slice:<ns>:<relation>"] — [ns] must digest everything the slice
+    depends on besides the relation name (Σ, the engine); the fleet
+    driver's namespace does. *)
 val minimal_cover_db_ir :
-  ?engine:Fast_impl.engine -> Ir.ctx -> Schema.db -> Ir.t list -> Ir.t list
+  ?memo:Memo.t * string ->
+  ?engine:Fast_impl.engine ->
+  Ir.ctx ->
+  Schema.db ->
+  Ir.t list ->
+  Ir.t list
 
 (** [prune_partitioned_ir ctx space ~chunk isigma] — {!prune_partitioned}
     on the IR path. *)

@@ -21,6 +21,7 @@ type options = {
   rbr_order : [ `Min_degree | `Given ];
   pool : Parallel.Pool.t option;
   kernel : Fast_impl.engine;
+  memo : (Memo.t * string) option;
 }
 
 (* The paper's own implementation partitions the working set and minimises
@@ -33,6 +34,7 @@ let default_options =
     rbr_order = `Min_degree;
     pool = None;
     kernel = `Packed;
+    memo = None;
   }
 
 type result = {
@@ -154,10 +156,14 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
   (* Line 1: Σ := MinCover(Σ). *)
   let isigma =
     if options.skip_initial_mincover then isigma
-    else
+    else begin
+      (* Provenance derivations must bottom out in this run's own MinCover
+         steps, so the shared-slice cache is bypassed while --why is on. *)
+      let memo = if Provenance.enabled () then None else options.memo in
       Obs.with_span_traced s_initial_mincover (fun () ->
-          Mincover.minimal_cover_db_ir ~engine:options.kernel ctx v.Spc.source
-            isigma)
+          Mincover.minimal_cover_db_ir ?memo ~engine:options.kernel ctx
+            v.Spc.source isigma)
+    end
   in
   (* Lines 5-6 first (the renamed CFDs feed ComputeEQ's closure). *)
   let sigma_v =

@@ -29,6 +29,12 @@ type options = {
       (** implication kernel for every MinCover in the pipeline:
           [`Packed] (the default) or the frozen [`Reference] PR 5 engine —
           covers are identical either way (the XL bench A/B asserts it) *)
+  memo : (Memo.t * string) option;
+      (** cross-view memo + key namespace for the fleet driver: line 1's
+          per-relation MinCover(Σ) slices are cached/reused through it
+          (see {!Mincover.minimal_cover_db_ir}).  [None] (the default)
+          changes nothing; the memo is also bypassed while provenance
+          recording is enabled so [--why] derivations stay complete *)
 }
 
 val default_options : options
@@ -68,3 +74,10 @@ val cover_spcu : ?options:options -> Spcu.t -> Cfds.Cfd.t list -> result
     of Fig. 2): every source CFD re-expressed over each matching renamed
     atom, exposed for tests. *)
 val rename_sources : Spc.t -> Cfds.Cfd.t list -> Cfds.Cfd.t list
+
+(** The always-empty-view cover of Lemma 4.5: two conflicting constant
+    CFDs on the first view attribute that admits two values.  Exposed for
+    {!Fleet}, which rebuilds it per view instead of renaming a cached
+    copy (its constants depend on the attribute's domain, not the
+    pipeline interior). *)
+val empty_view_cover : Spc.t -> Cfds.Cfd.t list

@@ -1,0 +1,83 @@
+open Relational
+
+(* One independent splitmix stream per (seed, template, attempt): redraws
+   are local to their template, so view k's content never depends on how
+   many attempts view j < k needed. *)
+let template_rng ~seed ~template ~attempt =
+  Rng.make ((seed * 1_000_003) + (template * 8191) + (attempt * 524_287) + 1)
+
+let max_dedupe_attempts = 16
+
+(* Instantiate a template as fleet member [index]: rename every body
+   attribute to the globally unique "w<index>_<atom>_<pos>" and the view
+   to "V<index+1>", preserving atom/selection/projection order exactly —
+   the same order-preserving discipline as Chase.Canon, so duplicates
+   land in the same canonical class. *)
+let instantiate ~index (tpl : Spc.t) =
+  let attr j i = Printf.sprintf "w%d_%d_%d" index j i in
+  let map = Hashtbl.create 32 in
+  List.iteri
+    (fun j (a : Spc.atom) ->
+      List.iteri
+        (fun i at -> Hashtbl.replace map (Attribute.name at) (attr j i))
+        a.Spc.attrs)
+    tpl.Spc.atoms;
+  let rn n = Option.value ~default:n (Hashtbl.find_opt map n) in
+  let atoms =
+    List.mapi
+      (fun j (a : Spc.atom) ->
+        Spc.atom tpl.Spc.source a.Spc.base
+          (List.mapi (fun i _ -> attr j i) a.Spc.attrs))
+      tpl.Spc.atoms
+  in
+  let selection =
+    List.map
+      (function
+        | Spc.Sel_eq (a, b) -> Spc.Sel_eq (rn a, rn b)
+        | Spc.Sel_const (a, c) -> Spc.Sel_const (rn a, c))
+      tpl.Spc.selection
+  in
+  let constants =
+    List.map
+      (fun (a, value) -> (Attribute.rename a (rn (Attribute.name a)), value))
+      tpl.Spc.constants
+  in
+  let projection = List.map rn tpl.Spc.projection in
+  Spc.make_exn ~source:tpl.Spc.source
+    ~name:(Printf.sprintf "V%d" (index + 1))
+    ~constants ~selection ~atoms ~projection ()
+
+let generate ~seed ~schema ~n ~overlap ~y ~f ~ec =
+  if n <= 0 then invalid_arg "Fleet_gen.generate: n must be positive";
+  let overlap =
+    if overlap < 0. then 0. else if overlap > 1. then 1. else overlap
+  in
+  let duplicates =
+    min (n - 1) (int_of_float ((overlap *. float_of_int n) +. 0.5))
+  in
+  let fresh = n - duplicates in
+  let seen = Hashtbl.create 16 in
+  let template t =
+    let rec draw attempt =
+      let v =
+        View_gen.generate
+          (template_rng ~seed ~template:t ~attempt)
+          ~schema ~y ~f ~ec
+      in
+      match Chase.Canon.canonicalize v with
+      | Error _ -> v
+      | Ok (cv, _) ->
+        let k = Chase.Canon.key cv in
+        if Hashtbl.mem seen k && attempt < max_dedupe_attempts then
+          draw (attempt + 1)
+        else begin
+          Hashtbl.replace seen k ();
+          v
+        end
+    in
+    draw 0
+  in
+  let templates = Array.init fresh template in
+  List.init n (fun i ->
+      let t = if i < fresh then i else (i - fresh) mod fresh in
+      instantiate ~index:i templates.(t))

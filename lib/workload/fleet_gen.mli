@@ -1,0 +1,30 @@
+(** Multi-view fleet workloads: [n] SPC views over one schema with a
+    controllable {e overlap} knob — the fraction of views that are exact
+    positional renamings of an earlier view (shared canonical class), the
+    rest drawn as fresh distinct templates.
+
+    Determinism contract (the fix for the latent fleet A/B flake): every
+    template draws from its {e own} RNG stream derived from
+    [(seed, template index, attempt)], so a dedupe redraw of template [k]
+    never shifts the stream of template [k+1]; and accidentally-identical
+    templates (same {!Chase.Canon} key) are redrawn up to a bounded number
+    of attempts.  The emitted list is a pure function of the arguments. *)
+
+open Relational
+
+(** [generate ~seed ~schema ~n ~overlap ~y ~f ~ec] emits [n] views named
+    ["V1"] … ["Vn"], each with [y]/[f]/[ec] as in {!View_gen.generate}.
+    [overlap] is clamped to [0,1]; [round (overlap * n)] of the views
+    (capped at [n - 1]) are renamed duplicates of the fresh templates,
+    assigned round-robin.  Every view gets globally unique attribute
+    names ["w<i>_<atom>_<pos>"], so duplicates are isomorphic but share
+    no names.  Raises [Invalid_argument] when [n <= 0]. *)
+val generate :
+  seed:int ->
+  schema:Schema.db ->
+  n:int ->
+  overlap:float ->
+  y:int ->
+  f:int ->
+  ec:int ->
+  Spc.t list

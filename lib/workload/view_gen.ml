@@ -1,6 +1,6 @@
 open Relational
 
-let generate rng ~schema ~y ~f ~ec =
+let generate ?(name = "V") rng ~schema ~y ~f ~ec =
   let rels = Schema.relations schema in
   let atoms =
     List.init ec (fun j ->
@@ -30,4 +30,4 @@ let generate rng ~schema ~y ~f ~ec =
       lhs_attrs
   in
   let projection = Rng.sample rng y body_names in
-  Spc.make_exn ~source:schema ~name:"V" ~selection ~atoms ~projection ()
+  Spc.make_exn ~source:schema ~name ~selection ~atoms ~projection ()

@@ -6,5 +6,7 @@
 
 open Relational
 
+(** [name] is the generated view's relation name (default ["V"]) — the
+    fleet workload needs distinct names per member. *)
 val generate :
-  Rng.t -> schema:Schema.db -> y:int -> f:int -> ec:int -> Spc.t
+  ?name:string -> Rng.t -> schema:Schema.db -> y:int -> f:int -> ec:int -> Spc.t

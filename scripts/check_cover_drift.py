@@ -26,7 +26,13 @@ up in cover sizes alone.
 The same script validates the XL sweep baseline: point rows there carry
 extra "gc"/"ab" objects, which the cover comparison ignores.
 
+--extra-counters NAME[,NAME...] appends counters to the mandatory set —
+the fleet smoke requires memo.hits/memo.misses/memo.inserts/fleet.views
+(a zero memo.hits on the overlap workload means cross-view sharing
+silently stopped).
+
 Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON] [--stats STATS_JSON]
+                            [--extra-counters A,B,...]
 Exit status: 0 = no drift, 1 = drift or malformed input.
 """
 
@@ -43,7 +49,7 @@ MANDATORY_COUNTERS = (
 )
 
 
-def check_stats(path):
+def check_stats(path, extra_counters=()):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -57,8 +63,9 @@ def check_stats(path):
             file=sys.stderr,
         )
         return False
+    required = MANDATORY_COUNTERS + tuple(extra_counters)
     bad = []
-    for name in MANDATORY_COUNTERS:
+    for name in required:
         value = counters.get(name)
         if not isinstance(value, int) or value <= 0:
             bad.append(f"  {name}: expected a positive count, got {value!r}")
@@ -69,7 +76,7 @@ def check_stats(path):
         )
         print("\n".join(bad), file=sys.stderr)
         return False
-    summary = ", ".join(f"{n}={counters[n]}" for n in MANDATORY_COUNTERS)
+    summary = ", ".join(f"{n}={counters[n]}" for n in required)
     print(f"stats guard OK: {summary}")
     return True
 
@@ -88,6 +95,7 @@ def load_points(path):
 def main():
     argv = sys.argv[1:]
     stats_path = None
+    extra_counters = ()
     if "--stats" in argv:
         i = argv.index("--stats")
         if i + 1 >= len(argv):
@@ -95,13 +103,22 @@ def main():
             return 1
         stats_path = argv[i + 1]
         argv = argv[:i] + argv[i + 2 :]
+    if "--extra-counters" in argv:
+        i = argv.index("--extra-counters")
+        if i + 1 >= len(argv):
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        extra_counters = tuple(
+            name for name in argv[i + 1].split(",") if name
+        )
+        argv = argv[:i] + argv[i + 2 :]
     if len(argv) not in (1, 2):
         print(__doc__.strip(), file=sys.stderr)
         return 1
     smoke_path = argv[0]
     base_path = argv[1] if len(argv) == 2 else "BENCH_cover.json"
 
-    if stats_path is not None and not check_stats(stats_path):
+    if stats_path is not None and not check_stats(stats_path, extra_counters):
         return 1
 
     smoke_seeds, smoke = load_points(smoke_path)

@@ -31,5 +31,8 @@ let () =
       ("oracle", Test_oracle.suite);
       ("trace", Test_trace.suite);
       ("provenance", Test_provenance.suite);
+      ("canon", Test_canon.suite);
+      ("memo", Test_memo.suite);
+      ("fleet", Test_fleet.suite);
       ("regressions", Regressions.suite);
     ]

@@ -148,6 +148,95 @@ let test_repair_satisfies () =
       (Schema.relations schema)
   done
 
+(* --- the fleet workload (multi-view, overlap knob) -------------------- *)
+
+let fleet_schema seed =
+  Workload.Schema_gen.generate (Rng.make seed) ~relations:4 ~min_arity:4
+    ~max_arity:6
+
+let render v = Format.asprintf "%a" Spc.pp v
+
+let canon_key v =
+  match Chase.Canon.canonicalize v with
+  | Ok (cv, _) -> Chase.Canon.key cv
+  | Error e -> Alcotest.fail e
+
+let test_fleet_gen_deterministic () =
+  let schema = fleet_schema 1 in
+  let gen () =
+    Workload.Fleet_gen.generate ~seed:5 ~schema ~n:10 ~overlap:0.4 ~y:5 ~f:3
+      ~ec:2
+  in
+  Alcotest.(check (list string))
+    "two calls, same fleet"
+    (List.map render (gen ()))
+    (List.map render (gen ()))
+
+let test_fleet_gen_prefix_stable () =
+  (* Per-template RNG streams: view k depends only on (seed, k), so a
+     bigger fleet extends a smaller one instead of reshuffling it — the
+     regression pin for the dedupe-redraw determinism fix. *)
+  let schema = fleet_schema 2 in
+  let gen n =
+    Workload.Fleet_gen.generate ~seed:9 ~schema ~n ~overlap:0.0 ~y:5 ~f:3 ~ec:2
+  in
+  let small = gen 4 and big = gen 7 in
+  List.iteri
+    (fun i v ->
+      Alcotest.(check string)
+        (Printf.sprintf "view %d stable" (i + 1))
+        (render v)
+        (render (List.nth big i)))
+    small
+
+let test_fleet_gen_shape () =
+  let schema = fleet_schema 3 in
+  let n = 10 in
+  let views =
+    Workload.Fleet_gen.generate ~seed:7 ~schema ~n ~overlap:0.5 ~y:5 ~f:3 ~ec:2
+  in
+  check_int "count" n (List.length views);
+  Alcotest.(check (list string))
+    "names V1..Vn"
+    (List.init n (fun i -> Printf.sprintf "V%d" (i + 1)))
+    (List.map (fun (v : Spc.t) -> v.Spc.name) views);
+  (* Attribute names are globally unique across the fleet. *)
+  let attrs =
+    List.concat_map
+      (fun (v : Spc.t) -> List.map Attribute.name (Spc.body_attrs v))
+      views
+  in
+  check_int "attrs disjoint across views"
+    (List.length attrs)
+    (List.length (List.sort_uniq String.compare attrs))
+
+let test_fleet_gen_overlap_and_dedupe () =
+  let schema = fleet_schema 4 in
+  let classes n overlap =
+    Workload.Fleet_gen.generate ~seed:11 ~schema ~n ~overlap ~y:5 ~f:3 ~ec:2
+    |> List.map canon_key
+    |> List.sort_uniq String.compare
+    |> List.length
+  in
+  (* overlap 0.5 on 10 views: 5 fresh templates, 5 renamed duplicates. *)
+  check_int "half overlap" 5 (classes 10 0.5);
+  (* overlap 0: dedupe keeps all 10 templates distinct. *)
+  check_int "no overlap, all distinct" 10 (classes 10 0.0);
+  (* overlap 1 clamps to n-1 duplicates: one shared class. *)
+  check_int "full overlap" 1 (classes 10 1.0)
+
+let test_fleet_gen_duplicates_are_renamings () =
+  let schema = fleet_schema 5 in
+  let views =
+    Workload.Fleet_gen.generate ~seed:13 ~schema ~n:4 ~overlap:0.5 ~y:5 ~f:3
+      ~ec:2
+  in
+  (* n=4, overlap 0.5: views 3,4 duplicate templates 1,2. *)
+  let key i = canon_key (List.nth views i) in
+  Alcotest.(check string) "V3 renames V1" (key 0) (key 2);
+  Alcotest.(check string) "V4 renames V2" (key 1) (key 3);
+  check_bool "V1 and V2 differ" false (String.equal (key 0) (key 1))
+
 let suite =
   [
     ("rng determinism", `Quick, test_rng_determinism);
@@ -160,4 +249,9 @@ let suite =
     ("view generator selection subjects", `Quick, test_view_gen_distinct_selection_lhs);
     ("data generator conformance", `Quick, test_data_gen_conforms);
     ("repair reaches satisfaction", `Quick, test_repair_satisfies);
+    ("fleet generator determinism", `Quick, test_fleet_gen_deterministic);
+    ("fleet generator prefix-stable", `Quick, test_fleet_gen_prefix_stable);
+    ("fleet generator shape", `Quick, test_fleet_gen_shape);
+    ("fleet overlap knob + dedupe", `Quick, test_fleet_gen_overlap_and_dedupe);
+    ("fleet duplicates are renamings", `Quick, test_fleet_gen_duplicates_are_renamings);
   ]
