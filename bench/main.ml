@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- --xl --json BENCH_cover_xl.json
                                               # XL sweep (|Sigma| to 100k)
      dune exec bench/main.exe -- --xl --ab-max 50000         # A/B up to 50k
+     dune exec bench/main.exe -- --serve-qps --json BENCH_serve.json
+                                              # resident-service throughput
 
    Experiments (see DESIGN.md / EXPERIMENTS.md):
      fig5      runtime + cover size vs |Sigma|      (Fig. 5a/5b)
@@ -608,6 +610,250 @@ let fleet () =
   json_figures := ("fleet", "N", rows) :: !json_figures
 
 (* ---------------------------------------------------------------------- *)
+(* Serve sweep (--serve-qps): request throughput of the resident service
+   on the fig5 |Σ|=2000 workload.  A server is stood up in-process, one
+   session opened *through the line protocol* (the doc travels inline,
+   exactly as a client would send it), and a scripted request stream —
+   ~88% propagates probes, ~10% cover pulls, ~2% Σ-deltas — is pushed
+   through [Serve.Server.handle_batch] in fixed-size chunks.  The x-axis
+   is the number of pool domains the server batches across.
+
+   The delta script cycles D=4 distinct source CFDs through add → remove
+   round-trips (first exposure of each Σ state pays a recompute; the
+   round-trip back hits the session's full-result cache) and includes one
+   CFD on a relation outside the view's atoms, so the patched tier
+   (serve.delta_patches) is exercised on every run.  After the stream,
+   the session's cover is compared byte-for-byte against a from-scratch
+   [Propcover.cover] on the final Σ — any mismatch aborts the bench. *)
+
+let serve_sigma_n = ref 2_000
+let serve_requests = ref 4_000
+
+type serve_run = {
+  sv_qps : float;
+  sv_cover : int;  (** initial cover size — the drift-guarded quantity *)
+  sv_deltas : int;
+}
+
+let serve_run_one ~seed ~domains ~var_pct =
+  let module Parser = Syntax.Parser in
+  let rng = Workload.Rng.make seed in
+  let schema = Workload.Schema_gen.default rng in
+  let sigma =
+    Workload.Cfd_gen.generate rng ~schema ~count:!serve_sigma_n ~max_lhs:9
+      ~var_pct
+  in
+  let view = Workload.View_gen.generate rng ~schema ~y:25 ~f:10 ~ec:4 in
+  let doc =
+    let b = Buffer.create (1 lsl 16) in
+    List.iter
+      (fun r -> Buffer.add_string b (Fmt.str "%a " Parser.print_schema r))
+      (Schema.relations schema);
+    List.iter
+      (fun c -> Buffer.add_string b (Fmt.str "%a " Parser.print_cfd c))
+      sigma;
+    Buffer.add_string b (Fmt.str "%a" Parser.print_view view);
+    Buffer.contents b
+  in
+  let probes =
+    Workload.Cfd_gen.generate rng
+      ~schema:(Schema.db [ Spc.view_schema view ])
+      ~count:8 ~max_lhs:3 ~var_pct
+  in
+  (* Delta pool: 3 random source CFDs plus one on a relation no view atom
+     uses (guaranteed Tier-A patch). *)
+  let atom_bases =
+    List.map (fun (a : Spc.atom) -> a.Spc.base) view.Spc.atoms
+  in
+  let off_view =
+    match
+      List.find_opt
+        (fun r -> not (List.mem (Schema.relation_name r) atom_bases))
+        (Schema.relations schema)
+    with
+    | Some r ->
+      let attrs = Schema.attribute_names r in
+      C.fd (Schema.relation_name r) [ List.nth attrs 0 ] (List.nth attrs 1)
+    | None -> List.hd sigma
+  in
+  let dpool =
+    off_view
+    :: Workload.Cfd_gen.generate rng ~schema ~count:3 ~max_lhs:9 ~var_pct
+  in
+  let jstr s = Serve.Json.to_string (Serve.Json.Str s) in
+  let cfd_body c =
+    let s = Fmt.str "%a" Parser.print_cfd c in
+    (* strip the statement form down to the protocol's bare body *)
+    String.sub s 4 (String.length s - 5)
+  in
+  let pool =
+    if domains > 1 then Some (Parallel.Pool.create ~size:domains ())
+    else None
+  in
+  let server = Serve.Server.create ?pool () in
+  let opened =
+    Serve.Server.handle_line server
+      (Printf.sprintf "{\"op\": \"open\", \"session\": \"b\", \"doc\": %s}"
+         (jstr doc))
+  in
+  (match Serve.Json.parse opened with
+  | Ok o when Serve.Json.member "ok" o = Some (Serve.Json.Bool true) -> ()
+  | _ ->
+    Fmt.epr "serve bench: open failed: %s@." opened;
+    exit 2);
+  let ndeltas = ref 0 in
+  let request i =
+    if i mod 50 = 0 then begin
+      let k = i / 50 in
+      let c = List.nth dpool (k / 2 mod List.length dpool) in
+      let op = if k mod 2 = 0 then "add_cfd" else "remove_cfd" in
+      incr ndeltas;
+      Printf.sprintf "{\"op\": %S, \"session\": \"b\", \"cfd\": %s}" op
+        (jstr (cfd_body c))
+    end
+    else if i mod 10 = 1 then "{\"op\": \"cover\", \"session\": \"b\"}"
+    else
+      Printf.sprintf
+        "{\"op\": \"propagates\", \"session\": \"b\", \"cfd\": %s}"
+        (jstr (cfd_body (List.nth probes (i mod List.length probes))))
+  in
+  let lines = List.init !serve_requests request in
+  let rec drop n = function
+    | _ :: rest when n > 0 -> drop (n - 1) rest
+    | l -> l
+  in
+  let rec chunks = function
+    | [] -> []
+    | l -> take 64 l :: chunks (drop 64 l)
+  in
+  let t, errors =
+    time (fun () ->
+        List.fold_left
+          (fun acc batch ->
+            let resps = Serve.Server.handle_batch server batch in
+            acc
+            + List.length
+                (List.filter
+                   (fun r ->
+                     match Serve.Json.parse r with
+                     | Ok o ->
+                       Serve.Json.member "ok" o <> Some (Serve.Json.Bool true)
+                     | Error _ -> true)
+                   resps))
+          0 (chunks lines))
+  in
+  if errors > 0 then begin
+    Fmt.epr "serve bench: %d error responses in the request stream@." errors;
+    exit 2
+  end;
+  (* Differential assert: resident cover vs fresh batch on the final Σ. *)
+  let s =
+    match Serve.Server.find_session server "b" with
+    | Some s -> s
+    | None -> Fmt.failwith "serve bench: session vanished"
+  in
+  let resident = Serve.Session.cover s in
+  let fresh =
+    P.Propcover.cover
+      ~options:(Serve.Session.fresh_options s)
+      (Serve.Session.view s) (Serve.Session.sigma s)
+  in
+  let same =
+    resident.P.Propcover.always_empty = fresh.P.Propcover.always_empty
+    && List.length resident.P.Propcover.cover
+       = List.length fresh.P.Propcover.cover
+    && List.for_all2
+         (fun a b -> C.compare a b = 0)
+         resident.P.Propcover.cover fresh.P.Propcover.cover
+  in
+  if not same then begin
+    Fmt.epr
+      "serve bench: SESSION COVER DIVERGED from fresh batch at seed %d@."
+      seed;
+    exit 2
+  end;
+  let initial_cover =
+    (P.Propcover.cover view sigma).P.Propcover.cover |> List.length
+  in
+  Option.iter Parallel.Pool.shutdown pool;
+  {
+    sv_qps = float_of_int !serve_requests /. t;
+    sv_cover = initial_cover;
+    sv_deltas = !ndeltas;
+  }
+
+let serve_point ~domains ~var_pct =
+  let runs =
+    List.map
+      (fun s -> serve_run_one ~seed:(1000 + (7 * s)) ~domains ~var_pct)
+      (List.init !seeds Fun.id)
+  in
+  ( {
+      (* runtime here is the whole request stream's wall time *)
+      runtime = float_of_int !serve_requests /. mean (List.map (fun r -> r.sv_qps) runs);
+      cover = imean (List.map (fun r -> r.sv_cover) runs);
+      empty_frac = 0.;
+    },
+    mean (List.map (fun r -> r.sv_qps) runs),
+    imean (List.map (fun r -> r.sv_deltas) runs) )
+
+let serve_qps () =
+  let points =
+    match !max_points with
+    | Some n -> take n [ 1; 2; 4; 8 ]
+    | None -> [ 1; 2; 4; 8 ]
+  in
+  Fmt.pr
+    "@.== Serve sweep: request throughput, |Sigma|=%d fig5 workload, %d \
+     requests per run ==@."
+    !serve_sigma_n !serve_requests;
+  Fmt.pr "%-8s %12s %12s %10s %10s@." "domains" "qps40" "qps50" "cover40"
+    "cover50";
+  let rows =
+    List.map
+      (fun domains ->
+        if !stats_on || !trace_path <> None then Obs.reset ();
+        let p40, qps40, deltas40 = serve_point ~domains ~var_pct:40 in
+        let p50, qps50, _deltas50 = serve_point ~domains ~var_pct:50 in
+        (match !trace_path with
+         | Some base ->
+           Obs.write_trace (Printf.sprintf "%s.serve.x%d.json" base domains);
+           Obs.write_trace base
+         | None -> ());
+        let stats =
+          if !stats_on then begin
+            let s = Obs.snapshot () in
+            Obs.reset ();
+            Some s
+          end
+          else None
+        in
+        Fmt.pr "%-8d %12.0f %12.0f %10.1f %10.1f@." domains qps40 qps50
+          p40.cover p50.cover;
+        let extras =
+          Printf.sprintf
+            ", \"serve\": {\"requests\": %d, \"qps40\": %.1f, \"qps50\": \
+             %.1f, \"deltas_per_run\": %.1f}"
+            !serve_requests qps40 qps50 deltas40
+        in
+        (domains, p40, p50, stats, extras))
+      points
+  in
+  if !stats_on then begin
+    let total =
+      List.fold_left
+        (fun acc (_, _, _, s, _) ->
+          match s with Some s -> Obs.merge acc s | None -> acc)
+        Obs.empty_snapshot rows
+    in
+    figure_stats := ("serve", total) :: !figure_stats;
+    grand_stats := Obs.merge !grand_stats total;
+    Fmt.pr "@.-- serve observability (all points, both var%% settings) --@.%a"
+      Obs.pp total
+  end;
+  json_figures := ("serve", "domains", rows) :: !json_figures
+
+(* ---------------------------------------------------------------------- *)
 (* Tables 1 and 2: one decision-procedure demonstration per decidable      *)
 (* cell.  PTIME cells run the chase procedure on growing inputs (times     *)
 (* grow polynomially); coNP cells run the instantiation procedure on a     *)
@@ -1034,6 +1280,7 @@ let run_one = function
   | "ablation" -> ablation ()
   | "xl" -> xl ()
   | "fleet" -> fleet ()
+  | "serve" -> serve_qps ()
   | other ->
     Fmt.epr "unknown experiment %s (expected: %s)@." other
       (String.concat ", " all);
@@ -1044,6 +1291,7 @@ let () =
   let domains = ref 0 in
   let want_xl = ref false in
   let want_fleet = ref false in
+  let want_serve = ref false in
   let rec parse args acc =
     match args with
     | "--seeds" :: n :: rest ->
@@ -1086,15 +1334,27 @@ let () =
     | "--fleet-sigma" :: n :: rest ->
       fleet_sigma_n := int_of_string n;
       parse rest acc
+    | "--serve-qps" :: rest ->
+      want_serve := true;
+      parse rest acc
+    | "--serve-sigma" :: n :: rest ->
+      serve_sigma_n := int_of_string n;
+      parse rest acc
+    | "--serve-requests" :: n :: rest ->
+      serve_requests := int_of_string n;
+      parse rest acc
     | x :: rest -> parse rest (x :: acc)
     | [] -> List.rev acc
   in
   let chosen = parse (List.tl (Array.to_list Sys.argv)) [] in
   let chosen =
-    if chosen = [] && not !want_xl && not !want_fleet then all else chosen
+    if chosen = [] && not !want_xl && not !want_fleet && not !want_serve then
+      all
+    else chosen
   in
   let chosen = chosen @ (if !want_xl then [ "xl" ] else []) in
   let chosen = chosen @ (if !want_fleet then [ "fleet" ] else []) in
+  let chosen = chosen @ (if !want_serve then [ "serve" ] else []) in
   if !stats_on then Obs.set_enabled true;
   if !trace_path <> None then Obs.set_trace_enabled true;
   if !domains > 1 then pool := Some (Parallel.Pool.create ~size:!domains ());

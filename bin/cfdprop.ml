@@ -559,6 +559,101 @@ let audit_cmd =
           CFDs are checked on the materialised views.")
     Term.(const audit $ path_arg $ repair_flag)
 
+(* ------------------------------------------------------------------ *)
+(* serve: resident (view, Σ) sessions behind the line-JSON protocol
+   (lib/serve), over stdin/stdout or a loopback TCP socket. *)
+
+let serve once tcp_port domains max_line stats stats_json =
+  if stats || stats_json <> None then Obs.set_enabled true;
+  let pool =
+    if domains > 1 then Some (Parallel.Pool.create ~size:domains ())
+    else None
+  in
+  let server = Serve.Server.create ?pool ~max_line () in
+  let errors =
+    match tcp_port with
+    | Some port ->
+      Serve.Server.run_tcp server ~port
+        ~on_listen:(fun p ->
+          Fmt.epr "# cfdprop serve: listening on 127.0.0.1:%d@." p)
+        ();
+      0
+    | None -> Serve.Server.run_channels ~once server stdin stdout
+  in
+  Option.iter Parallel.Pool.shutdown pool;
+  if Obs.enabled () then begin
+    let s = Obs.snapshot () in
+    if stats then Fmt.epr "%a" Obs.pp s;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Obs.to_json s);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "# wrote engine stats to %s@." path)
+      stats_json
+  end;
+  (* Scripted transcripts (--once) fail loudly when any line errored. *)
+  if once && errors > 0 then 1 else 0
+
+let serve_cmd =
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Process stdin to EOF and exit; nonzero status if any request \
+             produced an error response (CI transcript smoke).")
+  in
+  let tcp_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on 127.0.0.1:$(docv) instead of stdin/stdout (0 picks \
+             a free port, announced on stderr).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Answer batched requests over a pool of $(docv) worker domains.")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt int Serve.Protocol.default_max_len
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Reject request lines longer than $(docv) bytes.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Record engine counters (serve.requests, serve.delta_patches, \
+             serve.fallbacks, memo hits) and timing spans; print them to \
+             stderr on exit.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH"
+          ~doc:"Write the recorded engine stats to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident propagation service: line-JSON requests open \
+          per-(view, Σ) sessions that stay warm across queries, and \
+          add_cfd/remove_cfd patch Σ incrementally (full recompute only \
+          when a delta escapes its relation's minimal-cover slice).")
+    Term.(
+      const serve $ once $ tcp_port $ domains $ max_line $ stats $ stats_json)
+
 let () =
   Format.pp_set_margin Format.std_formatter 10_000;
   Format.pp_set_margin Format.err_formatter 10_000;
@@ -577,4 +672,5 @@ let () =
             empty_cmd;
             fleet_cmd;
             audit_cmd;
+            serve_cmd;
           ]))

@@ -18,7 +18,10 @@
       or JSON ([--stats] / [--stats-json] in the CLI and bench harness).
     - {!Workload} — the deterministic generators of Section 5.
     - {!Reductions} — the 3SAT hardness gadget of Theorem 3.2.
-    - {!Syntax} — a concrete syntax for schemas, CFDs and views. *)
+    - {!Syntax} — a concrete syntax for schemas, CFDs and views.
+    - {!Serve} — the resident propagation service: per-(view, Σ) sessions
+      with incremental Σ-deltas, behind a line-JSON protocol
+      ([cfdprop serve]). *)
 
 module Relational = Relational
 module Cfds = Cfds
@@ -29,3 +32,4 @@ module Obs = Obs
 module Workload = Workload
 module Reductions = Reductions
 module Syntax = Syntax
+module Serve = Serve

@@ -38,26 +38,7 @@ type t = {
 (* The namespace pins everything a cached artefact depends on besides its
    own key: the source schema (names, attribute names, domain kinds), Σ
    itself, and the implication kernel. *)
-let schema_digest (db : Schema.db) =
-  let b = Buffer.create 256 in
-  List.iter
-    (fun rel ->
-      Buffer.add_string b (Schema.relation_name rel);
-      Buffer.add_char b '(';
-      List.iter
-        (fun a ->
-          Buffer.add_string b (Attribute.name a);
-          Buffer.add_char b ':';
-          Buffer.add_string b
-            (if Domain.is_finite (Attribute.domain a) then
-               String.concat ","
-                 (List.map Value.to_string (Domain.members (Attribute.domain a)))
-             else "*");
-          Buffer.add_char b '\x1f')
-        (Schema.attributes rel);
-      Buffer.add_char b ')')
-    (Schema.relations db);
-  Buffer.contents b
+let schema_digest (db : Schema.db) = Memo.schema_string db
 
 let namespace (db : Schema.db) sigma (kernel : Fast_impl.engine) =
   let tag = match kernel with `Packed -> "P" | `Reference -> "R" in

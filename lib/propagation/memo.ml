@@ -96,20 +96,21 @@ let add_sym b = function
   | P.Wild -> Buffer.add_char b '_'
   | P.Svar -> Buffer.add_char b '@'
 
-let add_cfd b (c : C.t) =
-  Buffer.add_string b c.C.rel;
+let buf_cfd b rel lhs (ra, rsym) =
+  Buffer.add_string b rel;
   Buffer.add_char b '(';
   List.iter
     (fun (a, sym) ->
       Buffer.add_string b a;
       add_sym b sym;
       Buffer.add_char b '\x1f')
-    c.C.lhs;
+    lhs;
   Buffer.add_string b "->";
-  let a, sym = c.C.rhs in
-  Buffer.add_string b a;
-  add_sym b sym;
+  Buffer.add_string b ra;
+  add_sym b rsym;
   Buffer.add_char b ')'
+
+let add_cfd b (c : C.t) = buf_cfd b c.C.rel c.C.lhs c.C.rhs
 
 let digest_cfd c =
   let b = Buffer.create 64 in
@@ -126,3 +127,28 @@ let digest_cfds cs =
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let digest_string s = Digest.to_hex (Digest.string s)
+
+(* The schema half of every namespace digest: relation and attribute names
+   plus domain kinds (finite domains spelled out — a domain edit must not
+   alias a cached artefact). *)
+let schema_string (db : Relational.Schema.db) =
+  let open Relational in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun rel ->
+      Buffer.add_string b (Schema.relation_name rel);
+      Buffer.add_char b '(';
+      List.iter
+        (fun a ->
+          Buffer.add_string b (Attribute.name a);
+          Buffer.add_char b ':';
+          Buffer.add_string b
+            (if Domain.is_finite (Attribute.domain a) then
+               String.concat ","
+                 (List.map Value.to_string (Domain.members (Attribute.domain a)))
+             else "*");
+          Buffer.add_char b '\x1f')
+        (Schema.attributes rel);
+      Buffer.add_char b ')')
+    (Schema.relations db);
+  Buffer.contents b

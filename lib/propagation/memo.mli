@@ -65,6 +65,23 @@ val digest_cfds : Cfds.Cfd.t list -> string
 
 val digest_cfd : Cfds.Cfd.t -> string
 
+(** [buf_cfd b rel lhs rhs] appends the serialisation {!digest_cfds} uses
+    for one CFD, from its parts — so IR-level callers ({!Mincover}'s slice
+    keys) can produce byte-identical digests through {!Ir.name} without an
+    [ir.to_ast] conversion.  To match {!digest_cfds} of a
+    {!Cfds.Cfd.canonical} AST, [lhs] must be name-sorted. *)
+val buf_cfd :
+  Buffer.t ->
+  string ->
+  (string * Cfds.Pattern.sym) list ->
+  string * Cfds.Pattern.sym ->
+  unit
+
 (** [digest_string s] is MD5-hex of [s] — for clamping long canonical
     keys to fixed size. *)
 val digest_string : string -> string
+
+(** An unambiguous serialisation of a source schema (relation and
+    attribute names, domain kinds) — the schema half of a namespace
+    digest, shared by {!Fleet} and the serve-layer sessions. *)
+val schema_string : Relational.Schema.db -> string

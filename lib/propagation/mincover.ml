@@ -223,6 +223,28 @@ let minimal_cover_ir ?engine ctx space isigma =
   Array.iteri (fun i phi -> if not redundant.(i) then out := phi :: !out) arr;
   List.sort_uniq Ir.compare !out
 
+(* The Σ_R half of a slice key, digested at the IR level through
+   [Ir.name] (no [ir.to_ast] edge): the serialisation matches
+   [Memo.digest_cfds] over the canonical ASTs byte for byte, so the
+   AST-level [slice_key] below builds the same key. *)
+let slice_digest_ir ctx g =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun ic ->
+      let lhs =
+        Array.to_list ic.Ir.lhs
+        |> List.map (fun (i, sym) -> (Ir.name ctx i, sym))
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let ra, rsym = ic.Ir.rhs in
+      Memo.buf_cfd b ic.Ir.rel lhs (Ir.name ctx ra, rsym);
+      Buffer.add_char b '\x1e')
+    g;
+  Memo.digest_string (Buffer.contents b)
+
+let slice_key ~ns rel g =
+  "slice:" ^ ns ^ ":" ^ rel ^ ":" ^ Memo.digest_cfds (List.map C.canonical g)
+
 let minimal_cover_db_ir ?memo ?engine ctx db isigma =
   let groups = Hashtbl.create 8 in
   List.iter
@@ -231,19 +253,24 @@ let minimal_cover_db_ir ?memo ?engine ctx db isigma =
       Hashtbl.replace groups ic.Ir.rel (ic :: g))
     isigma;
   (* One slice per source relation.  With a memo, the per-relation result
-     is cached as ASTs under the caller's namespace (which digests Σ and
-     the engine): every fleet view re-interns the same slice instead of
-     re-minimising it.  Re-interning a cached slice in a fresh context
-     reproduces the direct computation exactly — the slice CFDs' attribute
-     ids were all fixed by the Σ interning pass that precedes line 1. *)
+     is cached as ASTs under the caller's namespace (which digests the
+     schema and the engine) plus a digest of the relation's own Σ_R: a
+     fleet view re-interns the shared slice instead of re-minimising it,
+     and a resident session whose Σ-delta left Σ_R untouched hits across
+     epochs.  Re-interning a cached slice in a fresh context reproduces
+     the direct computation exactly — the slice CFDs' attribute ids were
+     all fixed by the interning pass that precedes line 1. *)
   let cover_group rel g =
     let direct () =
-      minimal_cover_ir ?engine ctx (Ir.space_of_schema ctx rel) (List.rev g)
+      minimal_cover_ir ?engine ctx (Ir.space_of_schema ctx rel) g
     in
     match memo with
     | None -> direct ()
     | Some (m, ns) ->
-      let key = "slice:" ^ ns ^ ":" ^ Schema.relation_name rel in
+      let key =
+        "slice:" ^ ns ^ ":" ^ Schema.relation_name rel ^ ":"
+        ^ slice_digest_ir ctx g
+      in
       (match Memo.find m key with
        | Some (Memo.Cfds asts) -> List.map (Ir.of_ast ctx) asts
        | Some _ | None ->
@@ -254,7 +281,7 @@ let minimal_cover_db_ir ?memo ?engine ctx db isigma =
   Schema.relations db
   |> List.concat_map (fun rel ->
          match Hashtbl.find_opt groups (Schema.relation_name rel) with
-         | Some g -> cover_group rel g
+         | Some g -> cover_group rel (List.rev g)
          | None -> [])
 
 let prune_partitioned_ir ?pool ?engine ctx space ~chunk isigma =

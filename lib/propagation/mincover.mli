@@ -57,12 +57,20 @@ val prune_partitioned :
 val minimal_cover_ir :
   ?engine:Fast_impl.engine -> Ir.ctx -> Ir.space -> Ir.t list -> Ir.t list
 
+(** [slice_key ~ns rel sigma_r] is the memo key {!minimal_cover_db_ir}
+    files relation [rel]'s slice under when its per-relation input is
+    [sigma_r] (any order-preserving AST form; the digest canonicalises
+    each CFD).  Exposed so the serve layer's delta planner can probe for
+    a relation's current slice without re-running line 1. *)
+val slice_key : ns:string -> string -> Cfds.Cfd.t list -> string
+
 (** [minimal_cover_db_ir ctx db isigma] groups by relation and covers each
     group over its schema's space.  With [memo], each relation's slice
     cover is cached (as ASTs, re-interned on hit) under
-    ["slice:<ns>:<relation>"] — [ns] must digest everything the slice
-    depends on besides the relation name (Σ, the engine); the fleet
-    driver's namespace does. *)
+    ["slice:<ns>:<relation>:<digest Σ_R>"] — [ns] must digest everything
+    the slice depends on besides the relation name and its own CFDs (the
+    schema, the engine, the id-assignment discipline); both the fleet
+    driver's namespace and the serve sessions' satisfy that. *)
 val minimal_cover_db_ir :
   ?memo:Memo.t * string ->
   ?engine:Fast_impl.engine ->

@@ -22,6 +22,8 @@ type options = {
   pool : Parallel.Pool.t option;
   kernel : Fast_impl.engine;
   memo : (Memo.t * string) option;
+  stable_ids : bool;
+  memo_results : bool;
 }
 
 (* The paper's own implementation partitions the working set and minimises
@@ -35,6 +37,8 @@ let default_options =
     pool = None;
     kernel = `Packed;
     memo = None;
+    stable_ids = false;
+    memo_results = false;
   }
 
 type result = {
@@ -132,21 +136,99 @@ let normalise_const_form_ir ic =
     | _ -> ic
   else ic
 
+(* With [stable_ids], every attribute name the run can touch is interned
+   up front in (schema, view)-declaration order, before Σ is seen.  The
+   interner's id assignment — and with it every id-order tie-break in
+   MinCover/ComputeEQ/RBR — then depends only on the (schema, view) pair,
+   not on Σ: two runs on different Σ make identical pipeline decisions on
+   identical name-level inputs.  This is what lets a resident session
+   prove a Σ-delta left the cover byte-identical (Tier A/B of the serve
+   delta planner) and lets slice-cache entries be reused across epochs. *)
+let intern_universe ctx (v : Spc.t) =
+  List.iter
+    (fun rel ->
+      List.iter
+        (fun a -> ignore (Ir.intern ctx (Attribute.name a)))
+        (Schema.attributes rel))
+    (Schema.relations v.Spc.source);
+  List.iter
+    (fun (a : Spc.atom) ->
+      List.iter
+        (fun at -> ignore (Ir.intern ctx (Attribute.name at)))
+        a.Spc.attrs)
+    v.Spc.atoms;
+  List.iter
+    (fun (a, _) -> ignore (Ir.intern ctx (Attribute.name a)))
+    v.Spc.constants;
+  List.iter (fun y -> ignore (Ir.intern ctx y)) v.Spc.projection
+
+(* Everything a cached cover depends on besides Σ: the view definition
+   (atoms, selection, constants, projection) and every option that can
+   change the computed cover's bytes.  The pool is deliberately absent —
+   [Pool.map] is order-preserving, so domain count never changes results. *)
+let instance_digest options (v : Spc.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Memo.schema_string v.Spc.source);
+  Buffer.add_char b '\x1e';
+  Buffer.add_string b v.Spc.name;
+  List.iter
+    (fun (a : Spc.atom) ->
+      Buffer.add_char b '\x1e';
+      Buffer.add_string b a.Spc.base;
+      List.iter
+        (fun at ->
+          Buffer.add_char b '\x1f';
+          Buffer.add_string b (Attribute.name at))
+        a.Spc.attrs)
+    v.Spc.atoms;
+  Buffer.add_char b '\x1e';
+  List.iter
+    (fun sel ->
+      (match sel with
+       | Spc.Sel_eq (a, c) ->
+         Buffer.add_string b a;
+         Buffer.add_char b '=';
+         Buffer.add_string b c
+       | Spc.Sel_const (a, value) ->
+         Buffer.add_string b a;
+         Buffer.add_string b "='";
+         Buffer.add_string b (Value.to_string value));
+      Buffer.add_char b '\x1f')
+    v.Spc.selection;
+  Buffer.add_char b '\x1e';
+  List.iter
+    (fun (a, value) ->
+      Buffer.add_string b (Attribute.name a);
+      Buffer.add_char b '=';
+      Buffer.add_string b (Value.to_string value);
+      Buffer.add_char b '\x1f')
+    v.Spc.constants;
+  Buffer.add_char b '\x1e';
+  List.iter
+    (fun y ->
+      Buffer.add_string b y;
+      Buffer.add_char b '\x1f')
+    v.Spc.projection;
+  Buffer.add_string b
+    (Printf.sprintf "\x1e%s;%s;%b;%s;%b;%s"
+       (match options.prune_chunk with None -> "-" | Some n -> string_of_int n)
+       (match options.max_intermediate with
+        | None -> "-"
+        | Some n -> string_of_int n)
+       options.skip_initial_mincover
+       (match options.rbr_order with `Min_degree -> "D" | `Given -> "G")
+       options.stable_ids
+       (match options.kernel with `Packed -> "P" | `Reference -> "R"));
+  Memo.digest_string (Buffer.contents b)
+
 (* The pipeline interior runs entirely on the IR: one context per [cover]
    call interns every attribute name touched (source, renamed, view), the
    AST is converted exactly once per input CFD on the way in and once per
    cover member on the way out — the [ir.of_ast]/[ir.to_ast] counters pin
    this down in the test suite. *)
-let cover ?(options = default_options) (v : Spc.t) sigma =
-  Obs.with_span_traced s_cover @@ fun () ->
-  Obs.incr c_covers;
-  List.iter
-    (fun c ->
-      if not (Schema.mem v.Spc.source c.C.rel) then
-        invalid_arg
-          (Printf.sprintf "Propcover: CFD on unknown source relation %s" c.C.rel))
-    sigma;
+let compute_cover options (v : Spc.t) sigma =
   let ctx = Ir.create_ctx () in
+  if options.stable_ids then intern_universe ctx v;
   (* The entry edge. *)
   let isigma = List.map (Ir.of_ast ctx) sigma in
   (* The given Σ are the leaves every derivation must bottom out in. *)
@@ -286,6 +368,42 @@ let cover ?(options = default_options) (v : Spc.t) sigma =
       complete = (match completeness with `Complete -> true | `Truncated -> false);
       always_empty = false;
     }
+
+let cover ?(options = default_options) (v : Spc.t) sigma =
+  Obs.with_span_traced s_cover @@ fun () ->
+  Obs.incr c_covers;
+  List.iter
+    (fun c ->
+      if not (Schema.mem v.Spc.source c.C.rel) then
+        invalid_arg
+          (Printf.sprintf "Propcover: CFD on unknown source relation %s" c.C.rel))
+    sigma;
+  match options.memo with
+  | Some (m, ns) when options.memo_results && not (Provenance.enabled ()) ->
+    (* A full-result cache: the cover is a deterministic function of
+       (view, options, Σ as given), so a key over all three is trivially
+       byte-identical on a hit.  Resident sessions lean on this for
+       Σ round-trips (add then remove of the same CFD).  Bypassed while
+       provenance records, like the slice cache: --why derivations must
+       bottom out in the run's own steps. *)
+    let key =
+      "tail:" ^ ns ^ ":" ^ instance_digest options v ^ ":"
+      ^ Memo.digest_cfds sigma
+    in
+    (match
+       Memo.find_or_compute m key (fun () ->
+           let r = compute_cover options v sigma in
+           Memo.Cover
+             {
+               cover = r.cover;
+               complete = r.complete;
+               always_empty = r.always_empty;
+             })
+     with
+     | Memo.Cover { cover; complete; always_empty }, _ ->
+       { cover; complete; always_empty }
+     | (Memo.Cfds _ | Memo.Verdict _), _ -> compute_cover options v sigma)
+  | _ -> compute_cover options v sigma
 
 let is_propagated_via_cover v sigma phi =
   let r = cover v sigma in

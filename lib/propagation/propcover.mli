@@ -35,9 +35,31 @@ type options = {
           (see {!Mincover.minimal_cover_db_ir}).  [None] (the default)
           changes nothing; the memo is also bypassed while provenance
           recording is enabled so [--why] derivations stay complete *)
+  stable_ids : bool;
+      (** intern every (schema, view) attribute name up front, in
+          declaration order, so the IR's id assignment — and every
+          id-order tie-break in the pipeline — is independent of Σ.
+          Covers are equivalent either way, but only under [stable_ids]
+          are they {e byte-identical} across Σ-deltas that leave the
+          name-level pipeline inputs unchanged; the serve layer's
+          resident sessions rely on this.  Off by default (the historical
+          Σ-order id assignment is pinned by the bench baselines) *)
+  memo_results : bool;
+      (** with [memo] set, additionally cache the {e final result} under
+          ["tail:<ns>:<instance digest>:<digest Σ>"] — a hit skips the
+          whole pipeline.  Keys pin the view definition, every
+          cover-affecting option, and Σ as given, so hits are trivially
+          byte-identical.  Off by default *)
 }
 
 val default_options : options
+
+(** [instance_digest options v] digests everything a cached artefact of a
+    [cover] run depends on besides Σ: the source schema, the full view
+    definition, and every cover-affecting option (the pool is excluded —
+    [Parallel.Pool.map] is order-preserving).  The serve layer reuses it
+    to scope per-session verdict keys. *)
+val instance_digest : options -> Spc.t -> string
 
 type result = {
   cover : Cfds.Cfd.t list;  (** CFDs over the view schema *)

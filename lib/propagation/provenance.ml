@@ -214,6 +214,12 @@ let sources cfd =
       (leaves root.id) []
     |> List.sort (fun (a, _) (b, _) -> C.compare a b)
 
+let dependents ~cover axiom =
+  List.filter
+    (fun member ->
+      List.exists (fun (src, _) -> C.equal src axiom) (sources member))
+    cover
+
 let rule_label = function
   | Axiom -> "source"
   | Renamed via -> Printf.sprintf "renamed (%s)" via

@@ -93,6 +93,15 @@ val node : int -> node
     view-definition facts (selection/constants). *)
 val sources : Cfds.Cfd.t -> (Cfds.Cfd.t * int) list
 
+(** [dependents ~cover axiom] — the members of [cover] whose source
+    multiset contains [axiom].  The serve layer's delta planner uses this
+    as {e advisory} attribution when reporting which cover members a
+    [remove_cfd] touched: minimal covers are not monotone under axiom
+    deletion (a member pruned {e because of} a CFD derived from the
+    removed axiom can reappear), so attribution narrows the report, never
+    the recompute. *)
+val dependents : cover:Cfds.Cfd.t list -> Cfds.Cfd.t -> Cfds.Cfd.t list
+
 val rule_label : rule -> string
 
 (** [pp_tree ppf cfd] prints the derivation tree (the DAG re-expanded,

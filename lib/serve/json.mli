@@ -1,0 +1,41 @@
+(** A zero-dependency JSON codec for the serve protocol.
+
+    Promoted from the test suite's [mini_json] (which is now a shim over
+    this module): the repo deliberately carries no JSON dependency, and
+    the line protocol only needs objects of strings, numbers, booleans
+    and flat arrays.
+
+    The decoder accepts any well-formed JSON value ([\u] escapes above
+    ASCII are replaced with ['?']); the encoder emits a single line —
+    control characters in strings are escaped, so a rendered value never
+    contains a newline. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+(** [parse_exn s] — raises {!Bad} with an offset-bearing message on
+    malformed input or trailing garbage. *)
+val parse_exn : string -> t
+
+(** [parse s] — {!parse_exn} with the error as a [result]. *)
+val parse : string -> (t, string) result
+
+(** [to_string v] renders [v] on one line.  Numbers that are integral
+    (and within exact float range) print without a decimal point. *)
+val to_string : t -> string
+
+(** [member k v] is the value of key [k] when [v] is an object. *)
+val member : string -> t -> t option
+
+(** Raising accessors, for test-side destructuring. *)
+
+val to_arr : t -> t list
+val to_str : t -> string
+val to_num : t -> float

@@ -1,0 +1,95 @@
+type op =
+  | Ping
+  | Open of { session : string option; doc : string; view : string option }
+  | Close of { session : string }
+  | Cover of { session : string }
+  | Sigma of { session : string }
+  | Propagates of { session : string; cfd : string }
+  | Explain of { session : string; cfd : string }
+  | Add_cfd of { session : string; cfd : string }
+  | Remove_cfd of { session : string; cfd : string }
+  | Stats
+
+type request = {
+  id : Json.t option;
+  op : op;
+}
+
+let default_max_len = 8 * 1024 * 1024
+
+let str_field obj name =
+  match Json.member name obj with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_str_field obj name =
+  match Json.member name obj with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let ( let* ) = Result.bind
+
+let of_line ?(max_len = default_max_len) line =
+  if String.length line > max_len then
+    Error
+      ( Printf.sprintf "line exceeds %d bytes (%d)" max_len (String.length line),
+        None )
+  else
+    match Json.parse line with
+    | Error msg -> Error ("malformed JSON: " ^ msg, None)
+    | Ok (Json.Obj _ as obj) ->
+      let id = Json.member "id" obj in
+      let with_id r = Result.map_error (fun msg -> (msg, id)) r in
+      with_id
+        (let* opname = str_field obj "op" in
+         let session () = str_field obj "session" in
+         let cfd () = str_field obj "cfd" in
+         let* op =
+           match opname with
+           | "ping" -> Ok Ping
+           | "stats" -> Ok Stats
+           | "open" ->
+             let* session = opt_str_field obj "session" in
+             let* doc = str_field obj "doc" in
+             let* view = opt_str_field obj "view" in
+             Ok (Open { session; doc; view })
+           | "close" ->
+             let* session = session () in
+             Ok (Close { session })
+           | "cover" ->
+             let* session = session () in
+             Ok (Cover { session })
+           | "sigma" ->
+             let* session = session () in
+             Ok (Sigma { session })
+           | "propagates" ->
+             let* session = session () in
+             let* cfd = cfd () in
+             Ok (Propagates { session; cfd })
+           | "explain" ->
+             let* session = session () in
+             let* cfd = cfd () in
+             Ok (Explain { session; cfd })
+           | "add_cfd" ->
+             let* session = session () in
+             let* cfd = cfd () in
+             Ok (Add_cfd { session; cfd })
+           | "remove_cfd" ->
+             let* session = session () in
+             let* cfd = cfd () in
+             Ok (Remove_cfd { session; cfd })
+           | other -> Error (Printf.sprintf "unknown op %S" other)
+         in
+         Ok { id; op })
+    | Ok _ -> Error ("request must be a JSON object", None)
+
+let with_id id fields =
+  match id with None -> fields | Some id -> ("id", id) :: fields
+
+let ok ?id fields = Json.to_string (Json.Obj (with_id id (("ok", Json.Bool true) :: fields)))
+
+let error ?id msg =
+  Json.to_string
+    (Json.Obj (with_id id [ ("ok", Json.Bool false); ("error", Json.Str msg) ]))

@@ -1,0 +1,58 @@
+(** The serve line protocol: one JSON object per line, request in,
+    response out.
+
+    Requests carry an ["op"] (the request kind), an optional ["id"]
+    (echoed verbatim in the response, so pipelined clients can match
+    answers to questions), and op-specific string fields:
+
+    {v
+    {"op": "ping", "id": 1}
+    {"op": "open", "session": "s1", "doc": "schema R(...); ...", "view": "V"}
+    {"op": "cover", "session": "s1"}
+    {"op": "sigma", "session": "s1"}
+    {"op": "propagates", "session": "s1", "cfd": "V([zip] -> [street])"}
+    {"op": "explain", "session": "s1", "cfd": "V([zip] -> [street])"}
+    {"op": "add_cfd", "session": "s1", "cfd": "R1([zip] -> [street])"}
+    {"op": "remove_cfd", "session": "s1", "cfd": "R1([zip] -> [street])"}
+    {"op": "close", "session": "s1"}
+    {"op": "stats"}
+    v}
+
+    Responses are [{"ok": true, ...}] or [{"ok": false, "error": "..."}],
+    always on one line.  A malformed line, an unknown op, a missing
+    field, or an oversized line yields an error {e response} — the
+    connection survives. *)
+
+type op =
+  | Ping
+  | Open of { session : string option; doc : string; view : string option }
+  | Close of { session : string }
+  | Cover of { session : string }
+  | Sigma of { session : string }
+  | Propagates of { session : string; cfd : string }
+  | Explain of { session : string; cfd : string }
+  | Add_cfd of { session : string; cfd : string }
+  | Remove_cfd of { session : string; cfd : string }
+  | Stats
+
+type request = {
+  id : Json.t option;  (** echoed verbatim in the response *)
+  op : op;
+}
+
+(** The default line-length cap (8 MiB — a session-opening [doc] carries
+    a whole declaration file inline). *)
+val default_max_len : int
+
+(** [of_line line] parses one request line.  [Error] covers malformed
+    JSON, non-object payloads, unknown ops, missing/ill-typed fields and
+    lines longer than [max_len]; the message carries any ["id"] the line
+    managed to declare via {!error_id}. *)
+val of_line : ?max_len:int -> string -> (request, string * Json.t option) result
+
+(** [ok ?id fields] renders a success response line (no trailing
+    newline):  ["ok": true], the echoed id, then [fields] in order. *)
+val ok : ?id:Json.t -> (string * Json.t) list -> string
+
+(** [error ?id msg] renders an error response line. *)
+val error : ?id:Json.t -> string -> string

@@ -1,0 +1,362 @@
+module C = Cfds.Cfd
+module Parser = Syntax.Parser
+module Spc = Relational.Spc
+
+let c_requests = Obs.counter "serve.requests"
+let c_errors = Obs.counter "serve.errors"
+let c_batches = Obs.counter "serve.batches"
+let c_opened = Obs.counter "serve.sessions_opened"
+let c_closed = Obs.counter "serve.sessions_closed"
+
+type t = {
+  memo : Propagation.Memo.t;
+  pool : Parallel.Pool.t option;
+  kernel : Propagation.Fast_impl.engine;
+  max_line : int;
+  lock : Mutex.t;
+  tbl : (string, Session.t) Hashtbl.t;
+  mutable order : string list;  (* session names, newest first *)
+  mutable next_id : int;
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let create ?pool ?(kernel = `Packed) ?(max_line = Protocol.default_max_len) ()
+    =
+  {
+    memo = Propagation.Memo.create ();
+    pool;
+    kernel;
+    max_line;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    order = [];
+    next_id = 1;
+    requests = 0;
+    errors = 0;
+  }
+
+let memo t = t.memo
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+
+let sessions t =
+  with_lock t (fun () ->
+      List.rev_map (fun n -> Hashtbl.find t.tbl n) t.order)
+
+let find_session t name = with_lock t (fun () -> Hashtbl.find_opt t.tbl name)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers *)
+
+(* CFDs travel in the protocol in the bare body form the "cfd" request
+   fields use — [V([zip] -> [street])] — so a client can feed a cover or
+   sigma entry straight back into a propagates/add_cfd/remove_cfd. *)
+let str_cfd c =
+  let s = Fmt.str "%a" Parser.print_cfd c in
+  let s =
+    if String.length s > 4 && String.sub s 0 4 = "cfd " then
+      String.sub s 4 (String.length s - 4)
+    else s
+  in
+  if String.length s > 0 && s.[String.length s - 1] = ';' then
+    String.sub s 0 (String.length s - 1)
+  else s
+let jstr_cfd c = Json.Str (str_cfd c)
+let jnum n = Json.Num (float_of_int n)
+let jcfds l = Json.Arr (List.map jstr_cfd l)
+
+let plan_string = function
+  | Session.Noop -> "noop"
+  | Session.Patched -> "patched"
+  | Session.Recomputed -> "recomputed"
+
+(* Accepts the bare body form ([V([zip] -> [street])]) and, for
+   convenience, the full statement form ([cfd V(...);]). *)
+let parse_cfd text =
+  let attempt doc =
+    match Parser.parse_document doc with
+    | Ok { Parser.cfds = [ c ]; _ } -> Ok c
+    | Ok _ -> Error "expected exactly one CFD"
+    | Error msg -> Error ("bad CFD: " ^ msg)
+  in
+  match attempt (Printf.sprintf "cfd %s;" text) with
+  | Ok c -> Ok c
+  | Error _ as e -> (
+    match attempt text with Ok c -> Ok c | Error _ -> e)
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let do_open t ~session ~doc ~view =
+  let* doc = Parser.parse_document doc in
+  let* view =
+    match view with
+    | Some n -> (
+      match
+        List.find_opt (fun v -> String.equal v.Spc.name n) doc.Parser.views
+      with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "no view named %s in doc" n))
+    | None -> (
+      match doc.Parser.views with
+      | [ v ] -> Ok v
+      | [] -> Error "doc declares no view"
+      | _ -> Error "doc declares several views; pick one with \"view\"")
+  in
+  let sigma =
+    List.filter
+      (fun c -> Relational.Schema.mem doc.Parser.schema c.C.rel)
+      doc.Parser.cfds
+  in
+  (* Reserve the name under the table lock, but run the initial cover
+     outside it — opens must not block lookups for the whole pipeline. *)
+  let* name =
+    with_lock t (fun () ->
+        let name =
+          match session with
+          | Some n -> n
+          | None ->
+            let n = Printf.sprintf "s%d" t.next_id in
+            t.next_id <- t.next_id + 1;
+            n
+        in
+        match Hashtbl.find_opt t.tbl name with
+        | Some s when not (Session.closed s) ->
+          Error (Printf.sprintf "session %s already open" name)
+        | Some _ | None ->
+          (* a closed session's name may be reused *)
+          t.order <- name :: List.filter (fun n -> n <> name) t.order;
+          Hashtbl.remove t.tbl name;
+          Ok name)
+  in
+  match
+    Session.create ~kernel:t.kernel ?pool:t.pool ~memo:t.memo ~name ~view
+      ~sigma ()
+  with
+  | Error _ as e ->
+    with_lock t (fun () ->
+        t.order <- List.filter (fun n -> n <> name) t.order);
+    e
+  | Ok s ->
+    with_lock t (fun () -> Hashtbl.replace t.tbl name s);
+    Obs.incr c_opened;
+    let r = Session.cover s in
+    Ok
+      [
+        ("session", Json.Str name);
+        ("epoch", jnum 0);
+        ("cover_size", jnum (List.length r.Propagation.Propcover.cover));
+        ("always_empty", Json.Bool r.Propagation.Propcover.always_empty);
+      ]
+
+let with_session t name f =
+  match find_session t name with
+  | None -> Error (Printf.sprintf "no session %s" name)
+  | Some s -> f s
+
+let delta_fields (d : Session.delta_report) =
+  [
+    ("plan", Json.Str (plan_string d.Session.plan));
+    ("epoch", jnum d.Session.epoch);
+    ("cover_size", jnum d.Session.cover_size);
+    ("changed", Json.Bool d.Session.changed);
+    ("added", jcfds d.Session.added);
+    ("removed", jcfds d.Session.removed);
+    ( "stale",
+      match d.Session.stale with None -> Json.Null | Some l -> jcfds l );
+  ]
+
+let stats_fields t =
+  let per_session s =
+    let st = Session.stats s in
+    ( Session.name s,
+      Json.Obj
+        [
+          ("queries", jnum st.Session.queries);
+          ("patches", jnum st.Session.patches);
+          ("fallbacks", jnum st.Session.fallbacks);
+          ("recomputes", jnum st.Session.recomputes);
+          ("noops", jnum st.Session.noops);
+          ("epoch", jnum (Session.epoch s));
+          ("closed", Json.Bool (Session.closed s));
+        ] )
+  in
+  let sessions = sessions t in
+  let requests, errors =
+    with_lock t (fun () -> (t.requests, t.errors))
+  in
+  [
+    ("requests", jnum requests);
+    ("errors", jnum errors);
+    ("sessions", Json.Obj (List.map per_session sessions));
+  ]
+
+let dispatch t (req : Protocol.request) =
+  match req.Protocol.op with
+  | Protocol.Ping -> Ok [ ("pong", Json.Bool true) ]
+  | Protocol.Stats -> Ok (stats_fields t)
+  | Protocol.Open { session; doc; view } -> do_open t ~session ~doc ~view
+  | Protocol.Close { session } ->
+    with_session t session (fun s ->
+        if Session.closed s then Error "session closed"
+        else begin
+          Session.close s;
+          Obs.incr c_closed;
+          Ok [ ("session", Json.Str session); ("closed", Json.Bool true) ]
+        end)
+  | Protocol.Cover { session } ->
+    with_session t session (fun s ->
+        if Session.closed s then Error "session closed"
+        else
+          let r = Session.cover s in
+          Ok
+            [
+              ("epoch", jnum (Session.epoch s));
+              ("cover", jcfds r.Propagation.Propcover.cover);
+              ("complete", Json.Bool r.Propagation.Propcover.complete);
+              ( "always_empty",
+                Json.Bool r.Propagation.Propcover.always_empty );
+            ])
+  | Protocol.Sigma { session } ->
+    with_session t session (fun s ->
+        if Session.closed s then Error "session closed"
+        else
+          Ok
+            [
+              ("epoch", jnum (Session.epoch s));
+              ("sigma", jcfds (Session.sigma s));
+            ])
+  | Protocol.Propagates { session; cfd } ->
+    with_session t session (fun s ->
+        let* phi = parse_cfd cfd in
+        let* verdict, epoch = Session.propagates s phi in
+        Ok [ ("propagates", Json.Bool verdict); ("epoch", jnum epoch) ])
+  | Protocol.Explain { session; cfd } ->
+    with_session t session (fun s ->
+        let* phi = parse_cfd cfd in
+        let* e = Session.explain s phi in
+        Ok
+          [
+            ("propagates", Json.Bool e.Session.propagated);
+            ("vacuous", Json.Bool e.Session.vacuous);
+            ("used", jcfds e.Session.used);
+            ( "sources",
+              Json.Arr
+                (List.map
+                   (fun (m, srcs) ->
+                     Json.Obj
+                       [ ("member", jstr_cfd m); ("from", jcfds srcs) ])
+                   e.Session.sources) );
+            ("epoch", jnum e.Session.epoch);
+          ])
+  | Protocol.Add_cfd { session; cfd } ->
+    with_session t session (fun s ->
+        let* c = parse_cfd cfd in
+        let* d = Session.add_cfd s c in
+        Ok (delta_fields d))
+  | Protocol.Remove_cfd { session; cfd } ->
+    with_session t session (fun s ->
+        let* c = parse_cfd cfd in
+        let* d = Session.remove_cfd s c in
+        Ok (delta_fields d))
+
+let is_comment line =
+  let n = String.length line in
+  let rec first i = if i < n && line.[i] = ' ' then first (i + 1) else i in
+  let i = first 0 in
+  i >= n || line.[i] = '#'
+
+(* The single entry point: never raises, always one response line (or ""
+   for blank/comment lines). *)
+let handle_line_counted t line =
+  if is_comment line then ("", false)
+  else begin
+    with_lock t (fun () -> t.requests <- t.requests + 1);
+    Obs.incr c_requests;
+    let id, outcome =
+      match Protocol.of_line ~max_len:t.max_line line with
+      | Error (msg, id) -> (id, Error msg)
+      | Ok req -> (
+        ( req.Protocol.id,
+          try dispatch t req with
+          | Invalid_argument msg | Failure msg ->
+            Error (Printf.sprintf "request failed: %s" msg)
+          | exn ->
+            Error
+              (Printf.sprintf "request failed: %s" (Printexc.to_string exn))
+        ))
+    in
+    match outcome with
+    | Ok fields -> (Protocol.ok ?id fields, false)
+    | Error msg ->
+      with_lock t (fun () -> t.errors <- t.errors + 1);
+      Obs.incr c_errors;
+      (Protocol.error ?id msg, true)
+  end
+
+let handle_line t line = fst (handle_line_counted t line)
+
+let handle_batch t lines =
+  Obs.incr c_batches;
+  Parallel.Pool.map ?pool:t.pool (handle_line t) lines
+
+(* ------------------------------------------------------------------ *)
+(* Front ends *)
+
+let run_channels ?(once = false) t ic oc =
+  ignore once;
+  let errors = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       let resp, err = handle_line_counted t line in
+       if err then incr errors;
+       if resp <> "" then begin
+         output_string oc resp;
+         output_char oc '\n';
+         flush oc
+       end
+     done
+   with End_of_file -> ());
+  !errors
+
+let run_tcp ?(host = "127.0.0.1") ?on_listen ?(stop = fun () -> false) t
+    ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock addr;
+      Unix.listen sock 16;
+      (match on_listen with
+      | Some f ->
+        let bound =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> port
+        in
+        f bound
+      | None -> ());
+      let rec loop () =
+        if stop () then ()
+        else begin
+          (match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ :: _, _, _ ->
+            let fd, _ = Unix.accept sock in
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            (try ignore (run_channels t ic oc)
+             with Sys_error _ | Unix.Unix_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ()));
+          loop ()
+        end
+      in
+      loop ())

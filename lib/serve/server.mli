@@ -1,0 +1,60 @@
+(** The serve front end: a named-session store plus the line-protocol
+    dispatch loop, shared by [cfdprop serve] (stdin/stdout or TCP) and
+    the [--serve-qps] bench driver (which calls {!handle_batch}
+    directly).
+
+    One server owns one shared {!Propagation.Memo}: sessions on the same
+    schema share line-1 slices, full-result entries and implication
+    verdicts across epochs {e and} across sessions.  The session table
+    is guarded by its own mutex; request handling never holds it across
+    a compute (the per-session lock serialises actual work). *)
+
+type t
+
+(** [create ()] — [pool] batches concurrent requests across domains in
+    {!handle_batch}; [kernel] selects the implication engine for every
+    session; [max_line] caps accepted request lines (default
+    {!Protocol.default_max_len}). *)
+val create :
+  ?pool:Parallel.Pool.t ->
+  ?kernel:Propagation.Fast_impl.engine ->
+  ?max_line:int ->
+  unit ->
+  t
+
+val memo : t -> Propagation.Memo.t
+
+(** [sessions t] — the live sessions, in creation order. *)
+val sessions : t -> Session.t list
+
+(** [find_session t name] — a live session by name. *)
+val find_session : t -> string -> Session.t option
+
+(** [handle_line t line] — parse, dispatch, render: always returns a
+    single response line (never raises; errors become error responses).
+    Blank lines and [#]-comment lines (scripted transcripts) return [""]
+    — callers skip empty responses. *)
+val handle_line : t -> string -> string
+
+(** [handle_batch t lines] — {!handle_line} over the server's pool
+    (order-preserving), one response per request line. *)
+val handle_batch : t -> string list -> string list
+
+(** [run_channels t ic oc] — the stdio loop: read a line, answer, flush,
+    until EOF.  With [once] (scripted transcripts) the exit status is
+    the number of error responses produced — CI smoke fails when a
+    transcript line errors.  Returns that error count in both modes. *)
+val run_channels : ?once:bool -> t -> in_channel -> out_channel -> int
+
+(** [run_tcp t ~port ()] — bind loopback (or [host]) and serve each
+    accepted connection with the stdio loop, one at a time.
+    [on_listen] receives the bound port (useful with [port = 0]);
+    [stop] is polled between connections. *)
+val run_tcp :
+  ?host:string ->
+  ?on_listen:(int -> unit) ->
+  ?stop:(unit -> bool) ->
+  t ->
+  port:int ->
+  unit ->
+  unit

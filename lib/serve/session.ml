@@ -1,0 +1,502 @@
+open Relational
+module C = Cfds.Cfd
+module Propcover = Propagation.Propcover
+module Mincover = Propagation.Mincover
+module Fast_impl = Propagation.Fast_impl
+module Memo = Propagation.Memo
+module Provenance = Propagation.Provenance
+
+let c_patches = Obs.counter "serve.delta_patches"
+let c_fallbacks = Obs.counter "serve.fallbacks"
+let c_queries = Obs.counter "serve.queries"
+let s_recompute = Obs.span "serve.recompute"
+let s_delta = Obs.span "serve.delta"
+
+(* ------------------------------------------------------------------ *)
+(* The provenance gate.  Propcover bypasses every memo layer while the
+   global provenance flag is on (derivations must bottom out in the
+   run's own steps), and [set_enabled true] clears the process-global
+   arena — so attribution runs (writers) must exclude every concurrent
+   session recompute (readers), or the readers would silently skip
+   their caches and the writer's arena would be polluted.  A tiny
+   readers/writer latch; writers are rare (one per explain after a
+   recompute). *)
+
+let prov_mutex = Mutex.create ()
+let prov_cond = Condition.create ()
+let prov_readers = ref 0
+let prov_writer = ref false
+
+let with_prov_reader f =
+  Mutex.lock prov_mutex;
+  while !prov_writer do
+    Condition.wait prov_cond prov_mutex
+  done;
+  incr prov_readers;
+  Mutex.unlock prov_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock prov_mutex;
+      decr prov_readers;
+      if !prov_readers = 0 then Condition.broadcast prov_cond;
+      Mutex.unlock prov_mutex)
+
+let with_prov_writer f =
+  Mutex.lock prov_mutex;
+  while !prov_writer || !prov_readers > 0 do
+    Condition.wait prov_cond prov_mutex
+  done;
+  prov_writer := true;
+  Mutex.unlock prov_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock prov_mutex;
+      prov_writer := false;
+      Condition.broadcast prov_cond;
+      Mutex.unlock prov_mutex)
+
+(* ------------------------------------------------------------------ *)
+
+type plan = Noop | Patched | Recomputed
+
+type delta_report = {
+  plan : plan;
+  epoch : int;
+  cover_size : int;
+  changed : bool;
+  added : C.t list;
+  removed : C.t list;
+  stale : C.t list option;
+}
+
+type explanation = {
+  propagated : bool;
+  vacuous : bool;
+  used : C.t list;
+  sources : (C.t * C.t list) list;
+  epoch : int;
+}
+
+type stats = {
+  queries : int;
+  patches : int;
+  fallbacks : int;
+  recomputes : int;
+  noops : int;
+}
+
+type mutable_stats = {
+  mutable m_queries : int;
+  mutable m_patches : int;
+  mutable m_fallbacks : int;
+  mutable m_recomputes : int;
+  mutable m_noops : int;
+}
+
+type t = {
+  name : string;
+  view : Spc.t;
+  memo : Memo.t;
+  ns : string;
+  vdigest : string;  (* Propcover.instance_digest of (options, view) *)
+  options : Propcover.options;
+  kernel : Fast_impl.engine;
+  atom_bases : string list;
+  lock : Mutex.t;
+  mutable is_closed : bool;
+  mutable cur_epoch : int;
+  mutable cur_sigma : C.t list;
+  mutable result : Propcover.result;
+  mutable compiled : Fast_impl.compiled;
+  mutable cover_digest : string;
+  mutable slices : (string * C.t list) list;
+      (* per atom-base relation: the line-1 slice output of the current
+         Σ, in normalize_sigma form — the old side of Tier-B checks *)
+  mutable attribution : (C.t * C.t list) list option;
+  st : mutable_stats;
+}
+
+let normalize_sigma l = List.sort_uniq C.compare (List.map C.canonical l)
+
+let cfds_equal a b =
+  List.length a = List.length b && List.for_all2 C.equal a b
+
+let group sigma rel = List.filter (fun c -> String.equal c.C.rel rel) sigma
+
+let namespace kernel db =
+  let tag = match kernel with `Packed -> "P" | `Reference -> "R" in
+  (* "S" pins the stable-id discipline: slices computed under stable ids
+     must never be consumed by Σ-order-id runs (different tie-breaks). *)
+  Memo.digest_string (Memo.schema_string db ^ "\x1e" ^ tag ^ "\x1eS")
+
+(* The current line-1 slice of one relation: probe the shared memo under
+   the same key [Mincover.minimal_cover_db_ir] files it under (a session
+   recompute always populates it); on a miss — e.g. the full-result cache
+   short-circuited line 1 and nothing ever computed this Σ_R — fall back
+   to the AST-level MinCover, which agrees with the IR path (the test
+   suite pins [minimal_cover_ir ≡ minimal_cover]). *)
+let compute_slice ~memo ~ns ~kernel db sigma rel_name =
+  match group sigma rel_name with
+  | [] -> []
+  | grp ->
+    let key = Mincover.slice_key ~ns rel_name grp in
+    (match Memo.find memo key with
+     | Some (Memo.Cfds asts) -> normalize_sigma asts
+     | Some _ | None ->
+       normalize_sigma
+         (Mincover.minimal_cover ~engine:kernel (Schema.find db rel_name) grp))
+
+let refresh_slices ~memo ~ns ~kernel view atom_bases sigma =
+  List.map
+    (fun rel ->
+      (rel, compute_slice ~memo ~ns ~kernel view.Spc.source sigma rel))
+    atom_bases
+
+let name t = t.name
+let view t = t.view
+
+let fresh_options t =
+  { t.options with Propcover.memo = None; memo_results = false }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+
+let epoch t = with_lock t (fun () -> t.cur_epoch)
+let sigma t = with_lock t (fun () -> t.cur_sigma)
+let cover t = with_lock t (fun () -> t.result)
+let closed t = with_lock t (fun () -> t.is_closed)
+let close t = with_lock t (fun () -> t.is_closed <- true)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        queries = t.st.m_queries;
+        patches = t.st.m_patches;
+        fallbacks = t.st.m_fallbacks;
+        recomputes = t.st.m_recomputes;
+        noops = t.st.m_noops;
+      })
+
+let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
+  match
+    List.find_opt
+      (fun c -> not (Schema.mem view.Spc.source c.C.rel))
+      sigma
+  with
+  | Some c -> Error (Printf.sprintf "CFD on unknown source relation %s" c.C.rel)
+  | None ->
+    let sigma = normalize_sigma sigma in
+    let ns = namespace kernel view.Spc.source in
+    let options =
+      {
+        Propcover.default_options with
+        Propcover.kernel;
+        pool;
+        stable_ids = true;
+        memo_results = true;
+        memo = Some (memo, ns);
+      }
+    in
+    let atom_bases =
+      List.sort_uniq String.compare
+        (List.map (fun (a : Spc.atom) -> a.Spc.base) view.Spc.atoms)
+    in
+    let result =
+      Obs.with_span s_recompute (fun () ->
+          with_prov_reader (fun () -> Propcover.cover ~options view sigma))
+    in
+    let compiled =
+      Fast_impl.compile ~engine:kernel (Spc.view_schema view)
+        result.Propcover.cover
+    in
+    Ok
+      {
+        name;
+        view;
+        memo;
+        ns;
+        vdigest = Propcover.instance_digest options view;
+        options;
+        kernel;
+        atom_bases;
+        lock = Mutex.create ();
+        is_closed = false;
+        cur_epoch = 0;
+        cur_sigma = sigma;
+        result;
+        compiled;
+        cover_digest = Memo.digest_cfds result.Propcover.cover;
+        slices = refresh_slices ~memo ~ns ~kernel view atom_bases sigma;
+        attribution = None;
+        st =
+          {
+            m_queries = 0;
+            m_patches = 0;
+            m_fallbacks = 0;
+            m_recomputes = 1;
+            m_noops = 0;
+          };
+      }
+
+let ensure_open t f = if t.is_closed then Error "session closed" else f ()
+
+(* Under t.lock. *)
+let recompute t sigma' =
+  let result =
+    Obs.with_span s_recompute (fun () ->
+        with_prov_reader (fun () ->
+            Propcover.cover ~options:t.options t.view sigma'))
+  in
+  t.cur_sigma <- sigma';
+  t.result <- result;
+  t.compiled <-
+    Fast_impl.compile ~engine:t.kernel (Spc.view_schema t.view)
+      result.Propcover.cover;
+  t.cover_digest <- Memo.digest_cfds result.Propcover.cover;
+  t.slices <-
+    refresh_slices ~memo:t.memo ~ns:t.ns ~kernel:t.kernel t.view t.atom_bases
+      sigma';
+  t.attribution <- None;
+  t.st.m_recomputes <- t.st.m_recomputes + 1
+
+(* Under t.lock: the lazily materialised cover → Σ-axiom attribution.
+   Provenance-enabled runs bypass every cache, so this is a full pipeline
+   run — done once per cover, only when an explain asks for it. *)
+let attribution t =
+  match t.attribution with
+  | Some a -> a
+  | None ->
+    let opts = fresh_options t in
+    let a =
+      with_prov_writer (fun () ->
+          Provenance.set_enabled true;
+          Fun.protect
+            ~finally:(fun () -> Provenance.set_enabled false)
+            (fun () ->
+              let r = Propcover.cover ~options:opts t.view t.cur_sigma in
+              List.map
+                (fun m -> (m, List.map fst (Provenance.sources m)))
+                r.Propcover.cover))
+    in
+    t.attribution <- Some a;
+    a
+
+let validate_query t (phi : C.t) =
+  if not (String.equal phi.C.rel t.view.Spc.name) then
+    Error
+      (Printf.sprintf "CFD is over %s, not view %s" phi.C.rel t.view.Spc.name)
+  else
+    let vschema = Spc.view_schema t.view in
+    let known a =
+      List.exists
+        (fun at -> String.equal (Attribute.name at) a)
+        (Schema.attributes vschema)
+    in
+    (match
+       List.find_opt
+         (fun a -> not (known a))
+         (List.map fst phi.C.lhs @ [ fst phi.C.rhs ])
+     with
+     | Some a -> Error (Printf.sprintf "unknown view attribute %s" a)
+     | None -> Ok ())
+
+let ( let* ) = Result.bind
+
+(* Under t.lock.  Memoised per (instance, cover, φ): verdicts survive
+   every cover-neutral delta because the key digests the cover itself. *)
+let verdict t phi =
+  let phi = C.canonical phi in
+  if t.result.Propcover.always_empty then true
+  else
+    let key =
+      "verdict:" ^ t.ns ^ ":" ^ t.vdigest ^ ":" ^ t.cover_digest ^ ":"
+      ^ Memo.digest_cfd phi
+    in
+    match
+      Memo.find_or_compute t.memo key (fun () ->
+          Memo.Verdict (Fast_impl.implies t.compiled phi))
+    with
+    | Memo.Verdict v, _ -> v
+    | _ -> Fast_impl.implies t.compiled phi
+
+let propagates t phi =
+  with_lock t @@ fun () ->
+  ensure_open t @@ fun () ->
+  let* () = validate_query t phi in
+  t.st.m_queries <- t.st.m_queries + 1;
+  Obs.incr c_queries;
+  Ok (verdict t phi, t.cur_epoch)
+
+let explain t phi =
+  with_lock t @@ fun () ->
+  ensure_open t @@ fun () ->
+  let* () = validate_query t phi in
+  t.st.m_queries <- t.st.m_queries + 1;
+  Obs.incr c_queries;
+  if t.result.Propcover.always_empty then
+    Ok
+      {
+        propagated = true;
+        vacuous = true;
+        used = [];
+        sources = [];
+        epoch = t.cur_epoch;
+      }
+  else begin
+    let phi = C.canonical phi in
+    let fired = Bytes.make (Fast_impl.num_rules t.compiled) '\000' in
+    if Fast_impl.implies ~fired t.compiled phi then begin
+      let used =
+        List.filteri
+          (fun i _ -> Bytes.get fired i = '\001')
+          t.result.Propcover.cover
+      in
+      let attr = attribution t in
+      let sources =
+        List.map
+          (fun m ->
+            ( m,
+              match List.find_opt (fun (c, _) -> C.equal c m) attr with
+              | Some (_, srcs) -> srcs
+              | None -> [] ))
+          used
+      in
+      Ok
+        { propagated = true; vacuous = false; used; sources; epoch = t.cur_epoch }
+    end
+    else
+      Ok
+        {
+          propagated = false;
+          vacuous = false;
+          used = [];
+          sources = [];
+          epoch = t.cur_epoch;
+        }
+  end
+
+let diff_covers old_cover new_cover =
+  let added =
+    List.filter
+      (fun c -> not (List.exists (C.equal c) old_cover))
+      new_cover
+  in
+  let removed =
+    List.filter
+      (fun c -> not (List.exists (C.equal c) new_cover))
+      old_cover
+  in
+  (added, removed)
+
+let apply_delta t dop c =
+  with_lock t @@ fun () ->
+  ensure_open t @@ fun () ->
+  Obs.with_span s_delta @@ fun () ->
+  let c = C.canonical c in
+  if not (Schema.mem t.view.Spc.source c.C.rel) then
+    Error (Printf.sprintf "CFD on unknown source relation %s" c.C.rel)
+  else begin
+    let present = List.exists (C.equal c) t.cur_sigma in
+    let noop =
+      match dop with `Add -> present | `Remove -> not present
+    in
+    if noop then begin
+      t.st.m_noops <- t.st.m_noops + 1;
+      Ok
+        {
+          plan = Noop;
+          epoch = t.cur_epoch;
+          cover_size = List.length t.result.Propcover.cover;
+          changed = false;
+          added = [];
+          removed = [];
+          stale = Some [];
+        }
+    end
+    else begin
+      let sigma' =
+        match dop with
+        | `Add -> normalize_sigma (c :: t.cur_sigma)
+        | `Remove -> List.filter (fun d -> not (C.equal d c)) t.cur_sigma
+      in
+      let rel = c.C.rel in
+      let patch () =
+        t.cur_sigma <- sigma';
+        t.cur_epoch <- t.cur_epoch + 1;
+        (* Attribution maps cover members to axioms; a patched delta
+           leaves the cover intact but can change which axioms exist /
+           are redundant, so the lazily-built map is dropped. *)
+        t.attribution <- None;
+        t.st.m_patches <- t.st.m_patches + 1;
+        Obs.incr c_patches;
+        Ok
+          {
+            plan = Patched;
+            epoch = t.cur_epoch;
+            cover_size = List.length t.result.Propcover.cover;
+            changed = false;
+            added = [];
+            removed = [];
+            stale = Some [];
+          }
+      in
+      if not (List.mem rel t.atom_bases) then
+        (* Tier A: the relation feeds no view atom, so lines 5-6 filter
+           every CFD of it out — the pipeline input is untouched. *)
+        patch ()
+      else begin
+        let old_slice =
+          match List.assoc_opt rel t.slices with Some s -> s | None -> []
+        in
+        let new_slice =
+          compute_slice ~memo:t.memo ~ns:t.ns ~kernel:t.kernel
+            t.view.Spc.source sigma' rel
+        in
+        if cfds_equal old_slice new_slice then begin
+          (* Tier B: the delta is absorbed by MinCover(Σ_R) — every
+             downstream stage sees element-wise identical input.  Keep
+             the recomputed slice entry for the next delta's old side. *)
+          t.slices <-
+            (rel, new_slice) :: List.remove_assoc rel t.slices;
+          patch ()
+        end
+        else begin
+          (* Tier C: full recompute, warm through the memo.  Attribution
+             (when already materialised) narrows the report of which
+             members a removal touched; it can never license skipping
+             the recompute — minimal covers are not monotone under
+             axiom deletion. *)
+          let old_cover = t.result.Propcover.cover in
+          let stale =
+            match t.attribution, dop with
+            | Some attr, `Remove ->
+              Some
+                (List.filter_map
+                   (fun (m, srcs) ->
+                     if List.exists (C.equal c) srcs then Some m else None)
+                   attr)
+            | Some _, `Add -> Some []
+            | None, _ -> None
+          in
+          recompute t sigma';
+          t.cur_epoch <- t.cur_epoch + 1;
+          t.st.m_fallbacks <- t.st.m_fallbacks + 1;
+          Obs.incr c_fallbacks;
+          let new_cover = t.result.Propcover.cover in
+          let added, removed = diff_covers old_cover new_cover in
+          Ok
+            {
+              plan = Recomputed;
+              epoch = t.cur_epoch;
+              cover_size = List.length new_cover;
+              changed = not (cfds_equal old_cover new_cover);
+              added;
+              removed;
+              stale;
+            }
+        end
+      end
+    end
+  end
+
+let add_cfd t c = apply_delta t `Add c
+let remove_cfd t c = apply_delta t `Remove c

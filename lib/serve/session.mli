@@ -1,0 +1,134 @@
+(** One resident (view, Σ) propagation session: the compiled state a
+    [cfdprop serve] daemon keeps warm across requests — the current
+    minimal propagation cover, a {!Propagation.Fast_impl} engine compiled
+    from it for [propagates?] queries, the per-relation line-1 slices,
+    and (lazily) the provenance attribution of each cover member.
+
+    {2 State ownership and invalidation}
+
+    All mutable state is owned by the session and guarded by one mutex;
+    every operation is atomic and the compiled engine (whose chase arena
+    is confined to one domain at a time) is only ever driven under it —
+    concurrent callers serialise, so any interleaving of reads and deltas
+    is trivially serializable.  Shared, append-only state lives in the
+    server's {!Propagation.Memo} (line-1 slices, full results, verdicts),
+    which is safe across domains by construction.
+
+    {2 The Σ-delta planner}
+
+    Sessions run {!Propagation.Propcover} with [stable_ids] on, so the
+    pipeline's id-order tie-breaks depend only on the (schema, view) pair
+    — never on Σ.  [add_cfd]/[remove_cfd] then pick the cheapest plan
+    that keeps the session's cover {e byte-identical} to a fresh
+    [Propcover.cover] on the current Σ:
+
+    - {b Patched} (counted [serve.delta_patches]): either the delta's
+      relation is not a base of any view atom (lines 5–6 rename only
+      atom-relation CFDs, so the pipeline input is untouched), or the
+      recomputed per-relation line-1 slice is set-identical to the old
+      one (then every downstream stage sees element-wise identical
+      input).  Σ is patched in place; the cover, engine, and memoised
+      verdicts are provably still exact.
+    - {b Recomputed} (counted [serve.fallbacks]): anything else — minimal
+      covers are not monotone under axiom deletion, so provenance
+      attribution alone can never justify skipping the recompute; it only
+      narrows the {e report} of which members were touched.  The
+      recompute runs warm through the memo: untouched relations' slices
+      hit, and a Σ seen at an earlier epoch (delta round-trips) hits the
+      full-result cache.
+    - {b Noop}: adding a CFD already in Σ / removing an absent one. *)
+
+open Relational
+
+type t
+
+type plan = Noop | Patched | Recomputed
+
+type delta_report = {
+  plan : plan;
+  epoch : int;  (** the epoch after the delta *)
+  cover_size : int;
+  changed : bool;  (** did the cover's bytes change? *)
+  added : Cfds.Cfd.t list;
+  removed : Cfds.Cfd.t list;
+  stale : Cfds.Cfd.t list option;
+      (** advisory: cover members whose provenance cites a removed axiom.
+          [None] when attribution was not materialised (no [explain] ran
+          since the last recompute) — the recompute is exact either way. *)
+}
+
+type explanation = {
+  propagated : bool;
+  vacuous : bool;  (** the view is always empty (Lemma 4.5) *)
+  used : Cfds.Cfd.t list;  (** cover members the implication chase fired *)
+  sources : (Cfds.Cfd.t * Cfds.Cfd.t list) list;
+      (** each used member with the Σ axioms it derives from *)
+  epoch : int;
+}
+
+type stats = {
+  queries : int;
+  patches : int;
+  fallbacks : int;
+  recomputes : int;  (** full pipeline runs, including the initial one *)
+  noops : int;
+}
+
+(** [normalize_sigma l] is the session's canonical Σ form — each CFD
+    canonicalised, the list sorted and deduplicated.  Differential
+    harnesses must feed {e this} form to their fresh batch runs. *)
+val normalize_sigma : Cfds.Cfd.t list -> Cfds.Cfd.t list
+
+(** [create ~memo ~name ~view ~sigma ()] computes the initial cover
+    (epoch 0) and compiles the query engine.  [memo] may be shared with
+    other sessions — keys are namespaced by a digest of the schema, the
+    kernel, and the stable-id discipline.  Errors on CFDs over unknown
+    source relations. *)
+val create :
+  ?kernel:Propagation.Fast_impl.engine ->
+  ?pool:Parallel.Pool.t ->
+  memo:Propagation.Memo.t ->
+  name:string ->
+  view:Spc.t ->
+  sigma:Cfds.Cfd.t list ->
+  unit ->
+  (t, string) result
+
+val name : t -> string
+val view : t -> Spc.t
+
+(** The exact options a from-scratch differential run must use to be
+    byte-comparable with the session ([stable_ids] on, no memo). *)
+val fresh_options : t -> Propagation.Propcover.options
+
+(** Current epoch: 0 after [create], +1 per applied (non-noop) delta. *)
+val epoch : t -> int
+
+(** The current Σ, in {!normalize_sigma} form. *)
+val sigma : t -> Cfds.Cfd.t list
+
+(** The current cover (sorted as [Propcover.cover] returns it), with the
+    completeness flags. *)
+val cover : t -> Propagation.Propcover.result
+
+val stats : t -> stats
+
+(** [propagates t phi] — [Σ |=_V φ], answered from the compiled engine
+    (memoised per (instance, cover, φ), so verdicts survive cover-neutral
+    deltas).  Returns the verdict and the epoch it was answered at.
+    Errors when [phi] is not a CFD over the view. *)
+val propagates : t -> Cfds.Cfd.t -> (bool * int, string) result
+
+(** [explain t phi] — the verdict plus the cover members the implication
+    chase fired and their Σ attributions (materialising the provenance
+    attribution on first use; subsequent calls reuse it until a delta
+    invalidates the cover). *)
+val explain : t -> Cfds.Cfd.t -> (explanation, string) result
+
+val add_cfd : t -> Cfds.Cfd.t -> (delta_report, string) result
+val remove_cfd : t -> Cfds.Cfd.t -> (delta_report, string) result
+
+(** [close t] — subsequent operations return [Error "session closed"]. *)
+val close : t -> unit
+
+val closed : t -> bool

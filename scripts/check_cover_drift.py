@@ -31,7 +31,12 @@ the fleet smoke requires memo.hits/memo.misses/memo.inserts/fleet.views
 (a zero memo.hits on the overlap workload means cross-view sharing
 silently stopped).
 
+--bench-file PATH names the baseline explicitly (equivalent to the
+positional BASELINE_JSON, which stays supported; the serve smoke guards
+against BENCH_serve.json this way).
+
 Usage: check_cover_drift.py SMOKE_JSON [BASELINE_JSON] [--stats STATS_JSON]
+                            [--bench-file BASELINE_JSON]
                             [--extra-counters A,B,...]
 Exit status: 0 = no drift, 1 = drift or malformed input.
 """
@@ -103,6 +108,14 @@ def main():
             return 1
         stats_path = argv[i + 1]
         argv = argv[:i] + argv[i + 2 :]
+    bench_file = None
+    if "--bench-file" in argv:
+        i = argv.index("--bench-file")
+        if i + 1 >= len(argv):
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        bench_file = argv[i + 1]
+        argv = argv[:i] + argv[i + 2 :]
     if "--extra-counters" in argv:
         i = argv.index("--extra-counters")
         if i + 1 >= len(argv):
@@ -116,7 +129,17 @@ def main():
         print(__doc__.strip(), file=sys.stderr)
         return 1
     smoke_path = argv[0]
-    base_path = argv[1] if len(argv) == 2 else "BENCH_cover.json"
+    if bench_file is not None and len(argv) == 2:
+        print(
+            "cannot pass both a positional baseline and --bench-file",
+            file=sys.stderr,
+        )
+        return 1
+    base_path = (
+        bench_file
+        if bench_file is not None
+        else argv[1] if len(argv) == 2 else "BENCH_cover.json"
+    )
 
     if stats_path is not None and not check_stats(stats_path, extra_counters):
         return 1

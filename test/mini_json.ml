@@ -1,150 +1,8 @@
-(* A tiny recursive-descent JSON parser.  The repo deliberately carries no
-   JSON dependency; the tests only need to check that exported documents
-   are well-formed and to pull a few fields out of them. *)
+(* The repo's zero-dependency JSON support was promoted into [Serve.Json]
+   (the serve line protocol needs it at library level); the tests keep
+   their historical [Mini_json.parse : string -> t] raising interface as
+   a thin shim over it. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
+include Serve.Json
 
-exception Bad of string
-
-let parse (s : string) : t =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if peek () = Some c then advance ()
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let string_body () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some 'n' -> Buffer.add_char b '\n'
-         | Some 't' -> Buffer.add_char b '\t'
-         | Some 'r' -> Buffer.add_char b '\r'
-         | Some 'b' -> Buffer.add_char b '\b'
-         | Some 'f' -> Buffer.add_char b '\012'
-         | Some 'u' ->
-           if !pos + 4 >= n then fail "bad \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-           pos := !pos + 4;
-           Buffer.add_char b (if code < 128 then Char.chr code else '?')
-         | Some c -> Buffer.add_char b c
-         | None -> fail "unterminated escape");
-        advance ();
-        go ()
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let number () =
-    let start = !pos in
-    let num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> Num f
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else
-        let rec members acc =
-          skip_ws ();
-          let k = string_body () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else
-        let rec elements acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-    | Some '"' -> Str (string_body ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> number ()
-    | None -> fail "unexpected end of input"
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
-
-let to_arr = function Arr xs -> xs | _ -> raise (Bad "expected array")
-let to_str = function Str s -> s | _ -> raise (Bad "expected string")
-let to_num = function Num f -> f | _ -> raise (Bad "expected number")
+let parse = Serve.Json.parse_exn
