@@ -633,6 +633,9 @@ type serve_run = {
   sv_qps : float;
   sv_cover : int;  (** initial cover size — the drift-guarded quantity *)
   sv_deltas : int;
+  sv_hists : (string * Obs.hist) list;
+      (** per-op request histograms ([serve.req_us.<op>]) for this run's
+          measured stream only *)
 }
 
 let serve_run_one ~seed ~domains ~var_pct =
@@ -726,6 +729,12 @@ let serve_run_one ~seed ~domains ~var_pct =
     | [] -> []
     | l -> take 64 l :: chunks (drop 64 l)
   in
+  (* Enabling the histogram channel resets its shards, so the per-op
+     request histograms captured below cover exactly this run's measured
+     stream.  The observe cost (one bucket increment per request) is in
+     the noise next to a cover pull or a Σ-delta. *)
+  let hist_was = Obs.hist_enabled () in
+  Obs.set_hist_enabled true;
   let t, errors =
     time (fun () ->
         List.fold_left
@@ -742,6 +751,15 @@ let serve_run_one ~seed ~domains ~var_pct =
                    resps))
           0 (chunks lines))
   in
+  let run_hists =
+    let prefix = "serve.req_us." in
+    let plen = String.length prefix in
+    List.filter
+      (fun (n, _) ->
+        String.length n > plen && String.sub n 0 plen = prefix)
+      (Obs.snapshot ()).Obs.hists
+  in
+  if not hist_was then Obs.set_hist_enabled false;
   if errors > 0 then begin
     Fmt.epr "serve bench: %d error responses in the request stream@." errors;
     exit 2
@@ -780,7 +798,20 @@ let serve_run_one ~seed ~domains ~var_pct =
     sv_qps = float_of_int !serve_requests /. t;
     sv_cover = initial_cover;
     sv_deltas = !ndeltas;
+    sv_hists = run_hists;
   }
+
+(* Pointwise merge of per-run histogram tables, keyed by name. *)
+let merge_hist_tables tables =
+  List.fold_left
+    (fun acc hs ->
+      List.fold_left
+        (fun acc (n, h) ->
+          match List.assoc_opt n acc with
+          | Some p -> (n, Obs.hist_merge p h) :: List.remove_assoc n acc
+          | None -> (n, h) :: acc)
+        acc hs)
+    [] tables
 
 let serve_point ~domains ~var_pct =
   let runs =
@@ -795,7 +826,8 @@ let serve_point ~domains ~var_pct =
       empty_frac = 0.;
     },
     mean (List.map (fun r -> r.sv_qps) runs),
-    imean (List.map (fun r -> r.sv_deltas) runs) )
+    imean (List.map (fun r -> r.sv_deltas) runs),
+    merge_hist_tables (List.map (fun r -> r.sv_hists) runs) )
 
 let serve_qps () =
   let points =
@@ -813,8 +845,9 @@ let serve_qps () =
     List.map
       (fun domains ->
         if !stats_on || !trace_path <> None then Obs.reset ();
-        let p40, qps40, deltas40 = serve_point ~domains ~var_pct:40 in
-        let p50, qps50, _deltas50 = serve_point ~domains ~var_pct:50 in
+        let p40, qps40, deltas40, hists40 = serve_point ~domains ~var_pct:40 in
+        let p50, qps50, _deltas50, hists50 = serve_point ~domains ~var_pct:50 in
+        let hists = merge_hist_tables [ hists40; hists50 ] in
         (match !trace_path with
          | Some base ->
            Obs.write_trace (Printf.sprintf "%s.serve.x%d.json" base domains);
@@ -830,11 +863,26 @@ let serve_qps () =
         in
         Fmt.pr "%-8d %12.0f %12.0f %10.1f %10.1f@." domains qps40 qps50
           p40.cover p50.cover;
+        let ops_json =
+          let plen = String.length "serve.req_us." in
+          hists
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map (fun (n, h) ->
+                 let op = String.sub n plen (String.length n - plen) in
+                 Printf.sprintf
+                   "%S: {\"count\": %d, \"p50_us\": %.1f, \"p95_us\": \
+                    %.1f, \"p99_us\": %.1f}"
+                   op h.Obs.h_count
+                   (Obs.hist_quantile h 0.5)
+                   (Obs.hist_quantile h 0.95)
+                   (Obs.hist_quantile h 0.99))
+          |> String.concat ", "
+        in
         let extras =
           Printf.sprintf
             ", \"serve\": {\"requests\": %d, \"qps40\": %.1f, \"qps50\": \
-             %.1f, \"deltas_per_run\": %.1f}"
-            !serve_requests qps40 qps50 deltas40
+             %.1f, \"deltas_per_run\": %.1f, \"ops\": {%s}}"
+            !serve_requests qps40 qps50 deltas40 ops_json
         in
         (domains, p40, p50, stats, extras))
       points

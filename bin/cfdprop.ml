@@ -563,13 +563,45 @@ let audit_cmd =
 (* serve: resident (view, Σ) sessions behind the line-JSON protocol
    (lib/serve), over stdin/stdout or a loopback TCP socket. *)
 
-let serve once tcp_port domains max_line stats stats_json =
+let serve once tcp_port domains max_line stats stats_json metrics_port
+    access_log slow_ms =
   if stats || stats_json <> None then Obs.set_enabled true;
+  (* A metrics endpoint without data is useless: --metrics-port implies
+     both recording channels (histograms for percentiles, counters for
+     the *_total families). *)
+  if metrics_port <> None then begin
+    if not (Obs.enabled ()) then Obs.set_enabled true;
+    Obs.set_hist_enabled true
+  end
+  else if access_log <> None || slow_ms <> None then
+    (* Percentile-grade latency in the log path costs nothing extra once
+       requests are being timed anyway. *)
+    Obs.set_hist_enabled true;
   let pool =
     if domains > 1 then Some (Parallel.Pool.create ~size:domains ())
     else None
   in
-  let server = Serve.Server.create ?pool ~max_line () in
+  let log_oc = Option.map open_out access_log in
+  let server =
+    Serve.Server.create ?pool ~max_line ?access_log:log_oc ?slow_ms ()
+  in
+  let metrics_stop = Atomic.make false in
+  let metrics_domain =
+    Option.map
+      (fun port ->
+        Stdlib.Domain.spawn (fun () ->
+            try
+              Serve.Metrics.serve_http ~port
+                ~on_listen:(fun p ->
+                  Fmt.epr "# cfdprop serve: metrics on 127.0.0.1:%d/metrics@." p)
+                ~stop:(fun () -> Atomic.get metrics_stop)
+                ~render:(fun () -> Serve.Server.prometheus server)
+                ()
+            with exn ->
+              Fmt.epr "# cfdprop serve: metrics endpoint failed: %s@."
+                (Printexc.to_string exn)))
+      metrics_port
+  in
   let errors =
     match tcp_port with
     | Some port ->
@@ -580,6 +612,9 @@ let serve once tcp_port domains max_line stats stats_json =
       0
     | None -> Serve.Server.run_channels ~once server stdin stdout
   in
+  Atomic.set metrics_stop true;
+  Option.iter Stdlib.Domain.join metrics_domain;
+  Option.iter close_out log_oc;
   Option.iter Parallel.Pool.shutdown pool;
   if Obs.enabled () then begin
     let s = Obs.snapshot () in
@@ -644,6 +679,38 @@ let serve_cmd =
       & info [ "stats-json" ] ~docv:"PATH"
           ~doc:"Write the recorded engine stats to $(docv) as JSON.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve Prometheus text-format metrics on \
+             127.0.0.1:$(docv)/metrics (0 picks a free port, announced on \
+             stderr): request-latency histograms per op and per delta tier, \
+             engine counters, and live gauges (resident sessions, session \
+             epochs, memo entries, trace drops).  Implies recording.")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:
+            "Append one JSON object per handled request to $(docv): \
+             timestamp, request id, session, op, epoch, delta plan tier, \
+             latency_us, ok/error.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Mark requests at or over $(docv) milliseconds as slow in the \
+             access log, and emit a serve.slow trace instant for each so \
+             they are findable in the Perfetto timeline.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -652,7 +719,8 @@ let serve_cmd =
           add_cfd/remove_cfd patch Σ incrementally (full recompute only \
           when a delta escapes its relation's minimal-cover slice).")
     Term.(
-      const serve $ once $ tcp_port $ domains $ max_line $ stats $ stats_json)
+      const serve $ once $ tcp_port $ domains $ max_line $ stats $ stats_json
+      $ metrics_port $ access_log $ slow_ms)
 
 let () =
   Format.pp_set_margin Format.std_formatter 10_000;

@@ -1,5 +1,6 @@
 type counter = int
 type span = int
+type histogram = int
 
 (* --- metric registries -------------------------------------------------- *)
 
@@ -14,6 +15,7 @@ type registry = {
 let reg_mutex = Mutex.create ()
 let counters_reg = { names = [||]; n = 0; index = Hashtbl.create 64 }
 let spans_reg = { names = [||]; n = 0; index = Hashtbl.create 64 }
+let hists_reg = { names = [||]; n = 0; index = Hashtbl.create 64 }
 
 let register reg name =
   Mutex.lock reg_mutex;
@@ -43,17 +45,74 @@ let registered_names reg =
 
 let counter name = register counters_reg name
 let span name = register spans_reg name
+let histogram name = register hists_reg name
+
+(* --- histogram bucket layout --------------------------------------------- *)
+
+(* HdrHistogram-style log-linear layout over integer microseconds: the
+   first [hist_subs] buckets are exact (width 1), then every octave is
+   split into [hist_subs] equal sub-buckets, so relative error is bounded
+   by 1/subs (6.25%) at every scale.  Values at or above 2^26 us (~67 s)
+   share one overflow bucket; the recorded maximum stays exact.  The
+   layout is a pure function of the index — no per-histogram bounds — so
+   shards merge by pointwise addition. *)
+
+let hist_sub_bits = 4
+let hist_subs = 1 lsl hist_sub_bits
+let hist_max_octave = 25
+let hist_buckets = (hist_max_octave - hist_sub_bits + 1) * hist_subs + hist_subs + 1
+
+let bucket_of_us v =
+  let v =
+    if Float.is_nan v || v < 1. then 0
+    else if v >= 1e15 then 1 lsl 50
+    else int_of_float v
+  in
+  if v < hist_subs then v
+  else if v lsr (hist_max_octave + 1) > 0 then hist_buckets - 1
+  else begin
+    (* m = floor(log2 v); v >= hist_subs so m >= hist_sub_bits. *)
+    let m = ref hist_sub_bits in
+    let x = ref (v lsr (hist_sub_bits + 1)) in
+    while !x <> 0 do
+      incr m;
+      x := !x lsr 1
+    done;
+    let shift = !m - hist_sub_bits in
+    ((shift + 1) * hist_subs) + ((v lsr shift) land (hist_subs - 1))
+  end
+
+let bucket_lower_us i =
+  if i <= 0 then 0.
+  else if i < hist_subs then float_of_int i
+  else if i >= hist_buckets - 1 then float_of_int (1 lsl (hist_max_octave + 1))
+  else
+    let q = i / hist_subs and r = i mod hist_subs in
+    float_of_int ((hist_subs + r) lsl (q - 1))
+
+let bucket_upper_us i =
+  if i >= hist_buckets - 1 then infinity else bucket_lower_us (i + 1)
 
 (* --- sink --------------------------------------------------------------- *)
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 
+(* Histograms have their own flag so a bench can collect latency
+   percentiles without paying for the counter/span channels (and vice
+   versa).  The disabled cost is the same contract: one atomic load. *)
+let hist_flag = Atomic.make false
+let hist_enabled () = Atomic.get hist_flag
+
 (* Global accumulators, guarded by [sink_mutex]; indexed by metric id. *)
 let sink_mutex = Mutex.create ()
 let g_counts = ref [||]
 let g_hits = ref [||]
 let g_secs = ref [||]
+let g_hn = ref [||]
+let g_hsum = ref [||]
+let g_hmax = ref [||]
+let g_hbuckets : int array array ref = ref [||]
 
 let grow_int a n =
   if Array.length a >= n then a
@@ -71,17 +130,42 @@ let grow_float a n =
     b
   end
 
-(* Domain-local buffer: unsynchronised writes, merged at flush points. *)
+let grow_arr a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (max 16 (2 * Array.length a))) [||] in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* Domain-local buffer: unsynchronised writes, merged at flush points.
+   Histogram shards live in the same buffer; bucket arrays are allocated
+   lazily per histogram on first observation. *)
 type buf = {
   mutable counts : int array;
   mutable hits : int array;
   mutable secs : float array;
   mutable dirty : bool;
+  mutable hn : int array;
+  mutable hsum : float array;
+  mutable hmax : float array;
+  mutable hbuckets : int array array;
+  mutable hdirty : bool;
 }
 
 let buf_key =
   Domain.DLS.new_key (fun () ->
-      { counts = [||]; hits = [||]; secs = [||]; dirty = false })
+      {
+        counts = [||];
+        hits = [||];
+        secs = [||];
+        dirty = false;
+        hn = [||];
+        hsum = [||];
+        hmax = [||];
+        hbuckets = [||];
+        hdirty = false;
+      })
 
 let add c n =
   if n <> 0 && Atomic.get enabled_flag then begin
@@ -92,6 +176,25 @@ let add c n =
   end
 
 let incr c = add c 1
+
+let observe_us h v =
+  if Atomic.get hist_flag then begin
+    let b = Domain.DLS.get buf_key in
+    if Array.length b.hn <= h then begin
+      b.hn <- grow_int b.hn (h + 1);
+      b.hsum <- grow_float b.hsum (h + 1);
+      b.hmax <- grow_float b.hmax (h + 1);
+      b.hbuckets <- grow_arr b.hbuckets (h + 1)
+    end;
+    if Array.length b.hbuckets.(h) = 0 then
+      b.hbuckets.(h) <- Array.make hist_buckets 0;
+    let bk = bucket_of_us v in
+    b.hbuckets.(h).(bk) <- b.hbuckets.(h).(bk) + 1;
+    b.hn.(h) <- b.hn.(h) + 1;
+    b.hsum.(h) <- b.hsum.(h) +. v;
+    if v > b.hmax.(h) then b.hmax.(h) <- v;
+    b.hdirty <- true
+  end
 
 let record_span s dt =
   if Atomic.get enabled_flag then begin
@@ -105,7 +208,15 @@ let record_span s dt =
     b.dirty <- true
   end
 
-let now () = Unix.gettimeofday ()
+(* CLOCK_MONOTONIC nanoseconds via the C stub (obs_clock.c): NTP steps
+   can drag [gettimeofday] backwards, producing negative span durations
+   and non-monotone trace timestamps.  The native call is [@@noalloc]
+   with an unboxed return, so timing itself never touches the heap. *)
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "obs_monotonic_ns_bytecode" "obs_monotonic_ns_native"
+[@@noalloc]
+
+let now () = Int64.to_float (monotonic_ns ()) *. 1e-9
 
 (* [Gc.minor_words] is a [@@noalloc] external reading the allocation
    pointer, so the measurement itself stays off the heap; the subtraction
@@ -149,6 +260,12 @@ type event = {
 let trace_flag = Atomic.make false
 let trace_enabled () = Atomic.get trace_flag
 let trace_origin = now ()
+
+(* The monotonic origin means trace timestamps carry no calendar
+   information; this epoch anchor (captured at the same instant) is
+   exported in [otherData] so traces from different runs can still be
+   aligned on wall-clock time. *)
+let trace_origin_unix_s = Unix.gettimeofday ()
 let ts_now () = (now () -. trace_origin) *. 1e6
 let default_trace_capacity = 1 lsl 16
 let trace_capacity = ref default_trace_capacity
@@ -361,7 +478,8 @@ let trace_events () =
   let evs = List.rev !g_events in
   Mutex.unlock sink_mutex;
   (* Stable sort by track keeps each track's chronological record order;
-     clamp timestamps monotone per track (gettimeofday can step back). *)
+     the per-track monotone clamp is a safety net kept from the
+     gettimeofday era (the clock is monotonic now, so it is a no-op). *)
   let evs =
     List.stable_sort (fun (a : event) (b : event) -> Int.compare a.tid b.tid) evs
   in
@@ -401,7 +519,48 @@ let flush_domain () =
     Array.fill b.hits 0 ns 0;
     Array.fill b.secs 0 ns 0.;
     b.dirty <- false
+  end;
+  if b.hdirty then begin
+    Mutex.lock sink_mutex;
+    let nh = Array.length b.hn in
+    g_hn := grow_int !g_hn nh;
+    g_hsum := grow_float !g_hsum nh;
+    g_hmax := grow_float !g_hmax nh;
+    g_hbuckets := grow_arr !g_hbuckets nh;
+    for i = 0 to nh - 1 do
+      if b.hn.(i) > 0 then begin
+        !g_hn.(i) <- !g_hn.(i) + b.hn.(i);
+        !g_hsum.(i) <- !g_hsum.(i) +. b.hsum.(i);
+        if b.hmax.(i) > !g_hmax.(i) then !g_hmax.(i) <- b.hmax.(i);
+        if Array.length !g_hbuckets.(i) = 0 then
+          !g_hbuckets.(i) <- Array.make hist_buckets 0;
+        let src = b.hbuckets.(i) and dst = !g_hbuckets.(i) in
+        for k = 0 to hist_buckets - 1 do
+          if src.(k) <> 0 then dst.(k) <- dst.(k) + src.(k)
+        done
+      end
+    done;
+    Mutex.unlock sink_mutex;
+    Array.fill b.hn 0 (Array.length b.hn) 0;
+    Array.fill b.hsum 0 (Array.length b.hsum) 0.;
+    Array.fill b.hmax 0 (Array.length b.hmax) 0.;
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) b.hbuckets;
+    b.hdirty <- false
   end
+
+let reset_hists () =
+  let b = Domain.DLS.get buf_key in
+  Array.fill b.hn 0 (Array.length b.hn) 0;
+  Array.fill b.hsum 0 (Array.length b.hsum) 0.;
+  Array.fill b.hmax 0 (Array.length b.hmax) 0.;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) b.hbuckets;
+  b.hdirty <- false;
+  Mutex.lock sink_mutex;
+  Array.fill !g_hn 0 (Array.length !g_hn) 0;
+  Array.fill !g_hsum 0 (Array.length !g_hsum) 0.;
+  Array.fill !g_hmax 0 (Array.length !g_hmax) 0.;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) !g_hbuckets;
+  Mutex.unlock sink_mutex
 
 let reset_stats () =
   let b = Domain.DLS.get buf_key in
@@ -413,7 +572,8 @@ let reset_stats () =
   Array.fill !g_counts 0 (Array.length !g_counts) 0;
   Array.fill !g_hits 0 (Array.length !g_hits) 0;
   Array.fill !g_secs 0 (Array.length !g_secs) 0.;
-  Mutex.unlock sink_mutex
+  Mutex.unlock sink_mutex;
+  reset_hists ()
 
 (* Counters, spans, AND trace events: a reset between bench points makes
    every per-point snapshot (and trace file) self-contained. *)
@@ -428,16 +588,69 @@ let set_enabled on =
   end
   else Atomic.set enabled_flag false
 
+let set_hist_enabled on =
+  if on then begin
+    reset_hists ();
+    Atomic.set hist_flag true
+  end
+  else Atomic.set hist_flag false
+
 (* --- snapshots and export ----------------------------------------------- *)
+
+type hist = {
+  h_count : int;
+  h_sum_us : float;
+  h_max_us : float;
+  h_buckets : (int * int) list;
+}
 
 type snapshot = {
   counters : (string * int) list;
   spans : (string * (int * float)) list;
+  hists : (string * hist) list;
 }
 
-let empty_snapshot = { counters = []; spans = [] }
+let empty_snapshot = { counters = []; spans = []; hists = [] }
 
 let by_name (a, _) (b, _) = String.compare a b
+
+(* Smallest bucket whose cumulative count reaches rank [ceil (q*n)] —
+   exactly the bucket holding the rank-based quantile of the observed
+   values (bucketing is monotone in the value), reported as the largest
+   integer value the bucket can hold, clamped to the recorded maximum. *)
+let hist_quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.h_count))) in
+    let rec go acc = function
+      | [] -> h.h_max_us
+      | (b, c) :: rest ->
+        let acc = acc + c in
+        if acc >= rank then Float.min (bucket_upper_us b -. 1.) h.h_max_us
+        else go acc rest
+    in
+    go 0 h.h_buckets
+  end
+
+let hist_merge a b =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a.h_buckets;
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some w -> Hashtbl.replace tbl k (w + v)
+      | None -> Hashtbl.replace tbl k v)
+    b.h_buckets;
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum_us = a.h_sum_us +. b.h_sum_us;
+    h_max_us = Float.max a.h_max_us b.h_max_us;
+    h_buckets =
+      List.sort
+        (fun (x, _) (y, _) -> Int.compare x y)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []);
+  }
 
 let snapshot () =
   flush_domain ();
@@ -445,9 +658,14 @@ let snapshot () =
   let counts = Array.copy !g_counts in
   let hits = Array.copy !g_hits in
   let secs = Array.copy !g_secs in
+  let hn = Array.copy !g_hn in
+  let hsum = Array.copy !g_hsum in
+  let hmax = Array.copy !g_hmax in
+  let hb = Array.map Array.copy !g_hbuckets in
   Mutex.unlock sink_mutex;
   let cnames = registered_names counters_reg in
   let snames = registered_names spans_reg in
+  let hnames = registered_names hists_reg in
   let counters = ref [] in
   Array.iteri
     (fun i name ->
@@ -460,9 +678,30 @@ let snapshot () =
       if i < Array.length hits && hits.(i) <> 0 then
         spans := (name, (hits.(i), secs.(i))) :: !spans)
     snames;
+  let hists = ref [] in
+  Array.iteri
+    (fun i name ->
+      if i < Array.length hn && hn.(i) <> 0 then begin
+        let buckets = ref [] in
+        let a = hb.(i) in
+        for k = Array.length a - 1 downto 0 do
+          if a.(k) <> 0 then buckets := (k, a.(k)) :: !buckets
+        done;
+        hists :=
+          ( name,
+            {
+              h_count = hn.(i);
+              h_sum_us = hsum.(i);
+              h_max_us = hmax.(i);
+              h_buckets = !buckets;
+            } )
+          :: !hists
+      end)
+    hnames;
   {
     counters = List.sort by_name !counters;
     spans = List.sort by_name !spans;
+    hists = List.sort by_name !hists;
   }
 
 let merge a b =
@@ -483,10 +722,11 @@ let merge a b =
       merge_assoc
         (fun (h1, s1) (h2, s2) -> (h1 + h2, s1 +. s2))
         a.spans b.spans;
+    hists = merge_assoc hist_merge a.hists b.hists;
   }
 
 let pp ppf s =
-  if s.counters = [] && s.spans = [] then
+  if s.counters = [] && s.spans = [] && s.hists = [] then
     Format.fprintf ppf "(no observations recorded)@."
   else begin
     if s.counters <> [] then begin
@@ -502,6 +742,17 @@ let pp ppf s =
         (fun (name, (h, t)) ->
           Format.fprintf ppf "%-44s %8d %14.6f@." name h t)
         s.spans
+    end;
+    if s.hists <> [] then begin
+      if s.counters <> [] || s.spans <> [] then Format.fprintf ppf "@.";
+      Format.fprintf ppf "%-44s %8s %9s %9s %9s %9s@." "histogram" "count"
+        "p50_us" "p90_us" "p99_us" "max_us";
+      List.iter
+        (fun (name, h) ->
+          Format.fprintf ppf "%-44s %8d %9.0f %9.0f %9.0f %9.0f@." name
+            h.h_count (hist_quantile h 0.5) (hist_quantile h 0.9)
+            (hist_quantile h 0.99) h.h_max_us)
+        s.hists
     end
   end
 
@@ -536,6 +787,24 @@ let to_json s =
         (Printf.sprintf "\"%s\": {\"count\": %d, \"total_s\": %.6f}"
            (json_escape name) h t))
     s.spans;
+  Buffer.add_string b "}, \"hists\": {";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\": {\"count\": %d, \"sum_us\": %.3f, \"max_us\": %.3f, \
+            \"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, \
+            \"buckets\": ["
+           (json_escape name) h.h_count h.h_sum_us h.h_max_us
+           (hist_quantile h 0.5) (hist_quantile h 0.9) (hist_quantile h 0.99));
+      List.iteri
+        (fun j (bk, c) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (Printf.sprintf "[%d, %d]" bk c))
+        h.h_buckets;
+      Buffer.add_string b "]}")
+    s.hists;
   Buffer.add_string b "}}";
   Buffer.contents b
 
@@ -593,8 +862,8 @@ let trace_to_json ?events () =
   Buffer.add_string b
     (Printf.sprintf
        "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": \
-        %d}}\n"
-       (trace_dropped ()));
+        %d, \"trace_origin_unix_s\": %.6f}}\n"
+       (trace_dropped ()) trace_origin_unix_s);
   Buffer.contents b
 
 let write_trace path =

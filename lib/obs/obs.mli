@@ -21,6 +21,7 @@
 
 type counter
 type span
+type histogram
 
 (** [counter name] registers (or looks up) the counter [name].
     Thread-safe; intended for module-initialisation time. *)
@@ -28,6 +29,10 @@ val counter : string -> counter
 
 (** [span name] registers (or looks up) the span [name]. *)
 val span : string -> span
+
+(** [histogram name] registers (or looks up) the latency histogram
+    [name].  Same registry discipline as counters and spans. *)
+val histogram : string -> histogram
 
 (** Whether the recording sink is installed.  The hot-path guard. *)
 val enabled : unit -> bool
@@ -56,8 +61,10 @@ val record_span : span -> float -> unit
     [s] (exceptions included).  When disabled, exactly [f ()]. *)
 val with_span : span -> (unit -> 'a) -> 'a
 
-(** Wall-clock seconds from a monotonic-enough source ([gettimeofday]);
-    exposed so instrumented libraries need no clock dependency. *)
+(** Seconds from [CLOCK_MONOTONIC] (arbitrary origin, never steps back);
+    exposed so instrumented libraries need no clock dependency.  Durations
+    are safe across NTP adjustments; do not treat the value as calendar
+    time — {!trace_origin_unix_s} anchors it to the epoch. *)
 val now : unit -> float
 
 (** [minor_allocated f] runs [f ()] and returns the number of minor-heap
@@ -71,12 +78,73 @@ val minor_allocated : (unit -> unit) -> float
     it.  Cheap when the buffer is clean. *)
 val flush_domain : unit -> unit
 
+(** {1 Latency histograms}
+
+    A third recording channel: log-linear histograms over integer
+    microseconds, HdrHistogram-style.  The first 16 buckets are exact
+    (width 1 µs); every subsequent octave splits into 16 sub-buckets, so
+    the relative bucket error is ≤ 6.25% at every scale up to ~67 s
+    (values beyond share one overflow bucket; the maximum stays exact).
+    Observations land in the same per-domain buffer as counters and merge
+    at the same flush points; the channel has its own enable flag so a
+    bench can collect percentiles without the counter channel (and the
+    disabled cost is the same single atomic load). *)
+
+(** Whether the histogram channel is recording — independent of
+    {!enabled} and {!trace_enabled}. *)
+val hist_enabled : unit -> bool
+
+(** [set_hist_enabled true] zeroes every histogram shard and starts
+    recording; [false] stops it (recorded buckets stay readable). *)
+val set_hist_enabled : bool -> unit
+
+(** [observe_us h v] records one observation of [v] microseconds
+    (floored to an integer for bucketing; the sum and max keep the exact
+    value).  No-op when the channel is disabled. *)
+val observe_us : histogram -> float -> unit
+
+(** Total number of buckets in the fixed layout (the last is the
+    overflow bucket). *)
+val hist_buckets : int
+
+(** [bucket_of_us v] maps a value to its bucket index.  Monotone
+    non-decreasing in [v]. *)
+val bucket_of_us : float -> int
+
+(** Inclusive lower bound of bucket [i] in µs. *)
+val bucket_lower_us : int -> float
+
+(** Exclusive upper bound of bucket [i] in µs ([infinity] for the
+    overflow bucket).  [bucket_upper_us i = bucket_lower_us (i + 1)]
+    elsewhere. *)
+val bucket_upper_us : int -> float
+
+(** One histogram in a snapshot: exact observation count, sum and max
+    (µs), and the sparse bucket table [(bucket_index, count)] sorted by
+    index with zero buckets omitted. *)
+type hist = {
+  h_count : int;
+  h_sum_us : float;
+  h_max_us : float;
+  h_buckets : (int * int) list;
+}
+
+(** [hist_quantile h q] is the [q]-quantile (rank [ceil (q·n)]) of the
+    recorded values at bucket resolution: the result falls in exactly the
+    bucket containing the rank-based quantile of the raw observations.
+    [0.] on an empty histogram. *)
+val hist_quantile : hist -> float -> float
+
+(** Pointwise bucket sum; counts and sums add, maxima take the max. *)
+val hist_merge : hist -> hist -> hist
+
 (** An immutable view of the sink: counters as [(name, value)], spans
-    as [(name, (hits, total_seconds))], both sorted by name, zero
-    entries omitted. *)
+    as [(name, (hits, total_seconds))], histograms as [(name, hist)],
+    all sorted by name, zero entries omitted. *)
 type snapshot = {
   counters : (string * int) list;
   spans : (string * (int * float)) list;
+  hists : (string * hist) list;
 }
 
 val empty_snapshot : snapshot
@@ -91,7 +159,10 @@ val merge : snapshot -> snapshot -> snapshot
 val pp : Format.formatter -> snapshot -> unit
 
 (** [{"counters": {name: int, …}, "spans": {name: {"count": int,
-    "total_s": float}, …}}] — names are JSON-escaped. *)
+    "total_s": float}, …}, "hists": {name: {"count": int, "sum_us":
+    float, "max_us": float, "p50_us": float, "p90_us": float, "p99_us":
+    float, "buckets": [[index, count], …]}, …}}] — names are
+    JSON-escaped. *)
 val to_json : snapshot -> string
 
 (** {1 Trace-event timeline}
@@ -120,6 +191,12 @@ type event = {
 
 (** Whether the trace recorder is on — independent of {!enabled}. *)
 val trace_enabled : unit -> bool
+
+(** [Unix.gettimeofday] captured at the same instant as the monotonic
+    trace origin, exported in the trace's [otherData] as
+    [trace_origin_unix_s] so traces from different runs (whose monotonic
+    origins are incomparable) can be aligned on wall-clock time. *)
+val trace_origin_unix_s : float
 
 (** [set_trace_enabled true] clears the event sink and starts recording;
     [false] stops it (recorded events stay readable). *)

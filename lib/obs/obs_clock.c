@@ -1,0 +1,28 @@
+/* Monotonic clock stub for lib/obs.
+ *
+ * OCaml 5.1's Unix library exposes no clock_gettime, and the whole point
+ * of Obs.now is a clock that NTP steps cannot drag backwards, so we bind
+ * CLOCK_MONOTONIC directly.  The native variant returns an unboxed int64
+ * and allocates nothing, keeping the span hot path off the heap.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t obs_monotonic_ns_native(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value obs_monotonic_ns_bytecode(value unit)
+{
+  return caml_copy_int64(obs_monotonic_ns_native(unit));
+}

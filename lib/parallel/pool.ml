@@ -118,7 +118,8 @@ let map ?pool f xs =
           Obs.incr c_tasks
         end;
         if tracing then Obs.trace_end "pool.task";
-        if Obs.enabled () || tracing then Obs.flush_domain ();
+        if Obs.enabled () || Obs.hist_enabled () || tracing then
+          Obs.flush_domain ();
         results.(i) <- Some r;
         (* The decrement happens-before the broadcast; a waiter holding
            [done_mutex] either observes zero or is woken by it. *)

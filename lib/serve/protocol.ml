@@ -9,6 +9,7 @@ type op =
   | Add_cfd of { session : string; cfd : string }
   | Remove_cfd of { session : string; cfd : string }
   | Stats
+  | Metrics
 
 type request = {
   id : Json.t option;
@@ -50,6 +51,7 @@ let of_line ?(max_len = default_max_len) line =
            match opname with
            | "ping" -> Ok Ping
            | "stats" -> Ok Stats
+           | "metrics" -> Ok Metrics
            | "open" ->
              let* session = opt_str_field obj "session" in
              let* doc = str_field obj "doc" in
@@ -84,6 +86,48 @@ let of_line ?(max_len = default_max_len) line =
          in
          Ok { id; op })
     | Ok _ -> Error ("request must be a JSON object", None)
+
+(* The wire name of an op — the label the access log and the per-op
+   metrics key a request under. *)
+let op_name = function
+  | Ping -> "ping"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Cover _ -> "cover"
+  | Sigma _ -> "sigma"
+  | Propagates _ -> "propagates"
+  | Explain _ -> "explain"
+  | Add_cfd _ -> "add_cfd"
+  | Remove_cfd _ -> "remove_cfd"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+
+let op_names =
+  [
+    "ping";
+    "open";
+    "close";
+    "cover";
+    "sigma";
+    "propagates";
+    "explain";
+    "add_cfd";
+    "remove_cfd";
+    "stats";
+    "metrics";
+    "invalid";
+  ]
+
+let session_of = function
+  | Open { session; _ } -> session
+  | Close { session }
+  | Cover { session }
+  | Sigma { session }
+  | Propagates { session; _ }
+  | Explain { session; _ }
+  | Add_cfd { session; _ }
+  | Remove_cfd { session; _ } -> Some session
+  | Ping | Stats | Metrics -> None
 
 let with_id id fields =
   match id with None -> fields | Some id -> ("id", id) :: fields

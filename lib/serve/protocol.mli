@@ -16,6 +16,7 @@
     {"op": "remove_cfd", "session": "s1", "cfd": "R1([zip] -> [street])"}
     {"op": "close", "session": "s1"}
     {"op": "stats"}
+    {"op": "metrics"}
     v}
 
     Responses are [{"ok": true, ...}] or [{"ok": false, "error": "..."}],
@@ -34,11 +35,24 @@ type op =
   | Add_cfd of { session : string; cfd : string }
   | Remove_cfd of { session : string; cfd : string }
   | Stats
+  | Metrics
 
 type request = {
   id : Json.t option;  (** echoed verbatim in the response *)
   op : op;
 }
+
+(** The wire name of an op ("ping", "open", …) — the label the access
+    log and the per-op telemetry key a request under. *)
+val op_name : op -> string
+
+(** Every wire name, plus ["invalid"] (the label unparseable requests
+    are accounted under) — the fixed label set of the per-op metrics. *)
+val op_names : string list
+
+(** The session a request addresses, if any ([None] for [ping]/[stats]/
+    [metrics] and for an [open] that asks the server to pick a name). *)
+val session_of : op -> string option
 
 (** The default line-length cap (8 MiB — a session-opening [doc] carries
     a whole declaration file inline). *)

@@ -7,12 +7,30 @@ let c_errors = Obs.counter "serve.errors"
 let c_batches = Obs.counter "serve.batches"
 let c_opened = Obs.counter "serve.sessions_opened"
 let c_closed = Obs.counter "serve.sessions_closed"
+let h_req = Obs.histogram "serve.req_us"
+
+(* Per-op telemetry over the fixed wire-name set: a counter
+   (serve.op.<name>) and a latency histogram (serve.req_us.<name>) each,
+   plus the "invalid" row unparseable requests are accounted under. *)
+let per_op =
+  List.map
+    (fun n ->
+      (n, (Obs.counter ("serve.op." ^ n), Obs.histogram ("serve.req_us." ^ n))))
+    Protocol.op_names
+
+let op_telemetry name =
+  match List.assoc_opt name per_op with
+  | Some cs -> cs
+  | None -> List.assoc "invalid" per_op
 
 type t = {
   memo : Propagation.Memo.t;
   pool : Parallel.Pool.t option;
   kernel : Propagation.Fast_impl.engine;
   max_line : int;
+  access_log : out_channel option;
+  log_lock : Mutex.t;  (* serialises access-log lines under handle_batch *)
+  slow_us : float option;
   lock : Mutex.t;
   tbl : (string, Session.t) Hashtbl.t;
   mutable order : string list;  (* session names, newest first *)
@@ -21,13 +39,16 @@ type t = {
   mutable errors : int;
 }
 
-let create ?pool ?(kernel = `Packed) ?(max_line = Protocol.default_max_len) ()
-    =
+let create ?pool ?(kernel = `Packed) ?(max_line = Protocol.default_max_len)
+    ?access_log ?slow_ms () =
   {
     memo = Propagation.Memo.create ();
     pool;
     kernel;
     max_line;
+    access_log;
+    log_lock = Mutex.create ();
+    slow_us = Option.map (fun ms -> ms *. 1000.) slow_ms;
     lock = Mutex.create ();
     tbl = Hashtbl.create 16;
     order = [];
@@ -182,7 +203,7 @@ let stats_fields t =
           ("fallbacks", jnum st.Session.fallbacks);
           ("recomputes", jnum st.Session.recomputes);
           ("noops", jnum st.Session.noops);
-          ("epoch", jnum (Session.epoch s));
+          ("epoch", jnum st.Session.epoch);
           ("closed", Json.Bool (Session.closed s));
         ] )
   in
@@ -193,13 +214,41 @@ let stats_fields t =
   [
     ("requests", jnum requests);
     ("errors", jnum errors);
+    ("trace_dropped", jnum (Obs.trace_dropped ()));
+    ("memo_entries", jnum (Propagation.Memo.entries t.memo));
     ("sessions", Json.Obj (List.map per_session sessions));
   ]
+
+(* Server-side gauges, computed at render time: the histogram/counter
+   channels know nothing about resident state, so session counts,
+   per-session epochs, memo size, and trace drops are sampled here. *)
+let gauges t =
+  let sessions = sessions t in
+  let open_sessions = List.filter (fun s -> not (Session.closed s)) sessions in
+  let g name value = { Metrics.g_name = name; g_label = None; g_value = value } in
+  [ g "serve.sessions" (float_of_int (List.length open_sessions)) ]
+  @ List.map
+      (fun s ->
+        {
+          Metrics.g_name = "serve.session_epoch";
+          g_label = Some ("session", Session.name s);
+          g_value = float_of_int (Session.epoch s);
+        })
+      open_sessions
+  @ [
+      g "serve.memo_entries"
+        (float_of_int (Propagation.Memo.entries t.memo));
+      g "serve.trace_dropped" (float_of_int (Obs.trace_dropped ()));
+    ]
+
+let metrics_fields t = Metrics.json_fields ~gauges:(gauges t) (Obs.snapshot ())
+let prometheus t = Metrics.prometheus ~gauges:(gauges t) (Obs.snapshot ())
 
 let dispatch t (req : Protocol.request) =
   match req.Protocol.op with
   | Protocol.Ping -> Ok [ ("pong", Json.Bool true) ]
   | Protocol.Stats -> Ok (stats_fields t)
+  | Protocol.Metrics -> Ok (metrics_fields t)
   | Protocol.Open { session; doc; view } -> do_open t ~session ~doc ~view
   | Protocol.Close { session } ->
     with_session t session (fun s ->
@@ -271,17 +320,65 @@ let is_comment line =
   let i = first 0 in
   i >= n || line.[i] = '#'
 
+(* One access-log line: structured JSON, one object per request.  The
+   epoch and delta plan are read off the already-rendered response
+   fields, so no extra plumbing through Session is needed. *)
+let access_log_line ~id ~op ~session ~outcome ~lat_us ~slow =
+  let jfield name fields =
+    match List.assoc_opt name fields with Some v -> v | None -> Json.Null
+  in
+  let base =
+    [
+      ("ts", Json.Num (Unix.gettimeofday ()));
+      ("id", (match id with Some j -> j | None -> Json.Null));
+      ( "session",
+        match session with Some s -> Json.Str s | None -> Json.Null );
+      ("op", Json.Str op);
+    ]
+  in
+  let outcome_fields =
+    match outcome with
+    | Ok fields ->
+      [
+        ("epoch", jfield "epoch" fields);
+        ("plan", jfield "plan" fields);
+        ("latency_us", Json.Num lat_us);
+        ("ok", Json.Bool true);
+      ]
+    | Error msg ->
+      [
+        ("epoch", Json.Null);
+        ("plan", Json.Null);
+        ("latency_us", Json.Num lat_us);
+        ("ok", Json.Bool false);
+        ("error", Json.Str msg);
+      ]
+  in
+  let slow_field = if slow then [ ("slow", Json.Bool true) ] else [] in
+  Json.to_string (Json.Obj (base @ outcome_fields @ slow_field))
+
 (* The single entry point: never raises, always one response line (or ""
-   for blank/comment lines). *)
+   for blank/comment lines).  Request timing only runs when something
+   consumes it — the histogram channel, the access log, or the slow-ms
+   threshold — so the fully-disabled path keeps its one-atomic-load
+   cost. *)
 let handle_line_counted t line =
   if is_comment line then ("", false)
   else begin
+    let timed =
+      Obs.hist_enabled () || t.access_log <> None || t.slow_us <> None
+    in
+    let t0 = if timed then Obs.now () else 0. in
     with_lock t (fun () -> t.requests <- t.requests + 1);
     Obs.incr c_requests;
+    let op = ref "invalid" in
+    let session = ref None in
     let id, outcome =
       match Protocol.of_line ~max_len:t.max_line line with
       | Error (msg, id) -> (id, Error msg)
-      | Ok req -> (
+      | Ok req ->
+        op := Protocol.op_name req.Protocol.op;
+        session := Protocol.session_of req.Protocol.op;
         ( req.Protocol.id,
           try dispatch t req with
           | Invalid_argument msg | Failure msg ->
@@ -289,8 +386,36 @@ let handle_line_counted t line =
           | exn ->
             Error
               (Printf.sprintf "request failed: %s" (Printexc.to_string exn))
-        ))
+        )
     in
+    let op = !op and session = !session in
+    let c_op, h_op = op_telemetry op in
+    Obs.incr c_op;
+    if timed then begin
+      let lat_us = (Obs.now () -. t0) *. 1e6 in
+      if Obs.hist_enabled () then begin
+        Obs.observe_us h_req lat_us;
+        Obs.observe_us h_op lat_us
+      end;
+      let slow =
+        match t.slow_us with Some s -> lat_us >= s | None -> false
+      in
+      if slow then
+        Obs.trace_instant
+          ~args:
+            ([ ("op", op); ("latency_us", Printf.sprintf "%.1f" lat_us) ]
+            @ match session with Some s -> [ ("session", s) ] | None -> [])
+          "serve.slow";
+      match t.access_log with
+      | Some oc ->
+        let line = access_log_line ~id ~op ~session ~outcome ~lat_us ~slow in
+        Mutex.lock t.log_lock;
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock t.log_lock
+      | None -> ()
+    end;
     match outcome with
     | Ok fields -> (Protocol.ok ?id fields, false)
     | Error msg ->

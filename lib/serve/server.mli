@@ -14,15 +14,35 @@ type t
 (** [create ()] — [pool] batches concurrent requests across domains in
     {!handle_batch}; [kernel] selects the implication engine for every
     session; [max_line] caps accepted request lines (default
-    {!Protocol.default_max_len}). *)
+    {!Protocol.default_max_len}).
+
+    [access_log] turns on the structured access log: one JSON object per
+    handled request ([ts], [id], [session], [op], [epoch], [plan],
+    [latency_us], [ok]/[error], and [slow] when over threshold), written
+    and flushed under an internal lock (so {!handle_batch} interleaves
+    whole lines).  [slow_ms] sets the slow-request threshold: a request
+    at or over it is marked [slow] in the log and emits a [serve.slow]
+    trace instant (visible whenever the trace recorder is on).
+
+    Request timing runs only when something consumes it — the histogram
+    channel, the access log, or [slow_ms]; otherwise the disabled-cost
+    contract of {!Obs} holds (one atomic load per channel). *)
 val create :
   ?pool:Parallel.Pool.t ->
   ?kernel:Propagation.Fast_impl.engine ->
   ?max_line:int ->
+  ?access_log:out_channel ->
+  ?slow_ms:float ->
   unit ->
   t
 
 val memo : t -> Propagation.Memo.t
+
+(** [prometheus t] — the Prometheus text exposition of the current
+    {!Obs.snapshot} plus the server gauges (resident sessions,
+    per-session epochs, memo entries, trace drops), rendered at call
+    time.  The body behind [GET /metrics]. *)
+val prometheus : t -> string
 
 (** [sessions t] — the live sessions, in creation order. *)
 val sessions : t -> Session.t list

@@ -11,6 +11,9 @@ let c_fallbacks = Obs.counter "serve.fallbacks"
 let c_queries = Obs.counter "serve.queries"
 let s_recompute = Obs.span "serve.recompute"
 let s_delta = Obs.span "serve.delta"
+let h_delta_noop = Obs.histogram "serve.delta_us.noop"
+let h_delta_patched = Obs.histogram "serve.delta_us.patched"
+let h_delta_recomputed = Obs.histogram "serve.delta_us.recomputed"
 
 (* ------------------------------------------------------------------ *)
 (* The provenance gate.  Propcover bypasses every memo layer while the
@@ -81,6 +84,7 @@ type stats = {
   fallbacks : int;
   recomputes : int;
   noops : int;
+  epoch : int;
 }
 
 type mutable_stats = {
@@ -174,6 +178,7 @@ let stats t =
         fallbacks = t.st.m_fallbacks;
         recomputes = t.st.m_recomputes;
         noops = t.st.m_noops;
+        epoch = t.cur_epoch;
       })
 
 let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
@@ -387,7 +392,7 @@ let diff_covers old_cover new_cover =
   in
   (added, removed)
 
-let apply_delta t dop c =
+let apply_delta_locked t dop c =
   with_lock t @@ fun () ->
   ensure_open t @@ fun () ->
   Obs.with_span s_delta @@ fun () ->
@@ -497,6 +502,25 @@ let apply_delta t dop c =
       end
     end
   end
+
+(* Per-tier latency: the plan is only known once the delta resolves, so
+   time the whole application and file it under the tier it took. *)
+let apply_delta t dop c =
+  let timed = Obs.hist_enabled () in
+  let t0 = if timed then Obs.now () else 0. in
+  let r = apply_delta_locked t dop c in
+  (if timed then
+     match r with
+     | Ok d ->
+       let h =
+         match d.plan with
+         | Noop -> h_delta_noop
+         | Patched -> h_delta_patched
+         | Recomputed -> h_delta_recomputed
+       in
+       Obs.observe_us h ((Obs.now () -. t0) *. 1e6)
+     | Error _ -> ());
+  r
 
 let add_cfd t c = apply_delta t `Add c
 let remove_cfd t c = apply_delta t `Remove c

@@ -72,6 +72,7 @@ type stats = {
   fallbacks : int;
   recomputes : int;  (** full pipeline runs, including the initial one *)
   noops : int;
+  epoch : int;  (** current epoch, read atomically with the counts *)
 }
 
 (** [normalize_sigma l] is the session's canonical Σ form — each CFD

@@ -29,7 +29,15 @@ extra "gc"/"ab" objects, which the cover comparison ignores.
 --extra-counters NAME[,NAME...] appends counters to the mandatory set —
 the fleet smoke requires memo.hits/memo.misses/memo.inserts/fleet.views
 (a zero memo.hits on the overlap workload means cross-view sharing
-silently stopped).
+silently stopped).  A name that is absent from total.counters also
+resolves from total.hists by its observation count, so the serve smoke
+can require the serve.req_us request histogram alongside its counters.
+
+Serve points additionally carry a "serve"."ops" object (per-op request
+latency percentiles from the histogram channel); when present it is
+validated structurally: the scripted stream's ops (propagates, cover,
+add_cfd, remove_cfd) must each appear with a positive count and ordered
+percentiles p50 <= p95 <= p99.
 
 --bench-file PATH names the baseline explicitly (equivalent to the
 positional BASELINE_JSON, which stays supported; the serve smoke guards
@@ -68,10 +76,20 @@ def check_stats(path, extra_counters=()):
             file=sys.stderr,
         )
         return False
+    hists = doc.get("total", {}).get("hists", {})
+    if not isinstance(hists, dict):
+        hists = {}
+
+    def resolve(name):
+        value = counters.get(name)
+        if value is None and name in hists:
+            value = hists[name].get("count")
+        return value
+
     required = MANDATORY_COUNTERS + tuple(extra_counters)
     bad = []
     for name in required:
-        value = counters.get(name)
+        value = resolve(name)
         if not isinstance(value, int) or value <= 0:
             bad.append(f"  {name}: expected a positive count, got {value!r}")
     if bad:
@@ -81,8 +99,63 @@ def check_stats(path, extra_counters=()):
         )
         print("\n".join(bad), file=sys.stderr)
         return False
-    summary = ", ".join(f"{n}={counters[n]}" for n in required)
+    summary = ", ".join(f"{n}={resolve(n)}" for n in required)
     print(f"stats guard OK: {summary}")
+    return True
+
+
+SERVE_STREAM_OPS = ("propagates", "cover", "add_cfd", "remove_cfd")
+
+
+def check_serve_ops(points):
+    """Structural check of the per-op latency percentiles on serve points."""
+    serve_pts = [
+        (key, pt["serve"]) for key, pt in sorted(points.items())
+        if isinstance(pt.get("serve"), dict)
+    ]
+    if not serve_pts:
+        return True  # not a serve smoke
+    bad = []
+    for key, serve in serve_pts:
+        ops = serve.get("ops")
+        if not isinstance(ops, dict):
+            bad.append(f"  {key[0]} x={key[1]}: no serve.ops object")
+            continue
+        for op in SERVE_STREAM_OPS:
+            entry = ops.get(op)
+            if not isinstance(entry, dict):
+                bad.append(f"  {key[0]} x={key[1]} op={op}: missing")
+                continue
+            count = entry.get("count")
+            p50 = entry.get("p50_us")
+            p95 = entry.get("p95_us")
+            p99 = entry.get("p99_us")
+            if not isinstance(count, int) or count <= 0:
+                bad.append(f"  {key[0]} x={key[1]} op={op}: count={count!r}")
+            elif not all(
+                isinstance(v, (int, float)) and v > 0 for v in (p50, p95, p99)
+            ):
+                bad.append(
+                    f"  {key[0]} x={key[1]} op={op}: "
+                    f"p50={p50!r} p95={p95!r} p99={p99!r}"
+                )
+            elif not p50 <= p95 <= p99:
+                bad.append(
+                    f"  {key[0]} x={key[1]} op={op}: percentiles unordered "
+                    f"({p50} / {p95} / {p99})"
+                )
+    if bad:
+        print(
+            "SERVE OPS GUARD FAILED: per-op percentiles malformed",
+            file=sys.stderr,
+        )
+        print("\n".join(bad), file=sys.stderr)
+        return False
+    nops = sum(len(s.get("ops", {})) for _, s in serve_pts)
+    print(
+        f"serve ops guard OK: {len(serve_pts)} point(s), "
+        f"{nops} per-op percentile row(s)"
+    )
     return True
 
 
@@ -146,6 +219,9 @@ def main():
 
     smoke_seeds, smoke = load_points(smoke_path)
     base_seeds, base = load_points(base_path)
+
+    if not check_serve_ops(smoke):
+        return 1
 
     if smoke_seeds != base_seeds:
         print(
