@@ -731,10 +731,13 @@ let serve_run_one ~seed ~domains ~var_pct =
   in
   (* Enabling the histogram channel resets its shards, so the per-op
      request histograms captured below cover exactly this run's measured
-     stream.  The observe cost (one bucket increment per request) is in
-     the noise next to a cover pull or a Σ-delta. *)
+     stream.  When the channel is already on, leave it alone — enabling
+     again would clobber whatever an outer scope is accumulating — and
+     accept that the captured histograms then include the outer data.
+     The observe cost (one bucket increment per request) is in the noise
+     next to a cover pull or a Σ-delta. *)
   let hist_was = Obs.hist_enabled () in
-  Obs.set_hist_enabled true;
+  if not hist_was then Obs.set_hist_enabled true;
   let t, errors =
     time (fun () ->
         List.fold_left

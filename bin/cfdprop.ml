@@ -581,7 +581,13 @@ let serve once tcp_port domains max_line stats stats_json metrics_port
     if domains > 1 then Some (Parallel.Pool.create ~size:domains ())
     else None
   in
-  let log_oc = Option.map open_out access_log in
+  (* Append, as the flag doc promises: a daemon restart must not clobber
+     the previous run's log. *)
+  let log_oc =
+    Option.map
+      (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644)
+      access_log
+  in
   let server =
     Serve.Server.create ?pool ~max_line ?access_log:log_oc ?slow_ms ()
   in

@@ -153,19 +153,34 @@ type buf = {
   mutable hdirty : bool;
 }
 
+(* Every domain's buffer, registered at creation and guarded by
+   [sink_mutex].  [snapshot] merges these live shards on top of the sink,
+   so a reader in one domain (the Prometheus responder, a stats op) sees
+   what other domains have recorded without requiring them to hit a flush
+   point first.  Buffers of finished domains stay registered; they are
+   empty once the domain's final flush has run, so merging them is a
+   no-op. *)
+let all_bufs : buf list ref = ref []
+
 let buf_key =
   Domain.DLS.new_key (fun () ->
-      {
-        counts = [||];
-        hits = [||];
-        secs = [||];
-        dirty = false;
-        hn = [||];
-        hsum = [||];
-        hmax = [||];
-        hbuckets = [||];
-        hdirty = false;
-      })
+      let b =
+        {
+          counts = [||];
+          hits = [||];
+          secs = [||];
+          dirty = false;
+          hn = [||];
+          hsum = [||];
+          hmax = [||];
+          hbuckets = [||];
+          hdirty = false;
+        }
+      in
+      Mutex.lock sink_mutex;
+      all_bufs := b :: !all_bufs;
+      Mutex.unlock sink_mutex;
+      b)
 
 let add c n =
   if n <> 0 && Atomic.get enabled_flag then begin
@@ -498,6 +513,10 @@ let trace_track_names () =
   Mutex.unlock sink_mutex;
   List.sort compare l
 
+(* The shard is zeroed *inside* the sink lock: [snapshot] sums the sink
+   plus every live shard under the same lock, so add-then-zero must be
+   atomic with respect to it or a concurrent snapshot could count the
+   flushed values twice (sink updated, shard not yet cleared). *)
 let flush_domain () =
   flush_trace_domain ();
   let b = Domain.DLS.get buf_key in
@@ -514,11 +533,11 @@ let flush_domain () =
       !g_hits.(i) <- !g_hits.(i) + b.hits.(i);
       !g_secs.(i) <- !g_secs.(i) +. b.secs.(i)
     done;
-    Mutex.unlock sink_mutex;
     Array.fill b.counts 0 nc 0;
     Array.fill b.hits 0 ns 0;
     Array.fill b.secs 0 ns 0.;
-    b.dirty <- false
+    b.dirty <- false;
+    Mutex.unlock sink_mutex
   end;
   if b.hdirty then begin
     Mutex.lock sink_mutex;
@@ -540,22 +559,30 @@ let flush_domain () =
         done
       end
     done;
-    Mutex.unlock sink_mutex;
     Array.fill b.hn 0 (Array.length b.hn) 0;
     Array.fill b.hsum 0 (Array.length b.hsum) 0.;
     Array.fill b.hmax 0 (Array.length b.hmax) 0.;
     Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) b.hbuckets;
-    b.hdirty <- false
+    b.hdirty <- false;
+    Mutex.unlock sink_mutex
   end
 
+(* Resets clear every registered shard, not just the calling domain's:
+   [snapshot] merges live shards, so data left in another domain's buffer
+   would survive the reset and reappear in the next snapshot.  Racing
+   increments on other domains can straddle the reset either way; resets
+   are only meaningful at quiescent points. *)
 let reset_hists () =
   let b = Domain.DLS.get buf_key in
-  Array.fill b.hn 0 (Array.length b.hn) 0;
-  Array.fill b.hsum 0 (Array.length b.hsum) 0.;
-  Array.fill b.hmax 0 (Array.length b.hmax) 0.;
-  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) b.hbuckets;
   b.hdirty <- false;
   Mutex.lock sink_mutex;
+  List.iter
+    (fun b ->
+      Array.fill b.hn 0 (Array.length b.hn) 0;
+      Array.fill b.hsum 0 (Array.length b.hsum) 0.;
+      Array.fill b.hmax 0 (Array.length b.hmax) 0.;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) b.hbuckets)
+    !all_bufs;
   Array.fill !g_hn 0 (Array.length !g_hn) 0;
   Array.fill !g_hsum 0 (Array.length !g_hsum) 0.;
   Array.fill !g_hmax 0 (Array.length !g_hmax) 0.;
@@ -564,11 +591,14 @@ let reset_hists () =
 
 let reset_stats () =
   let b = Domain.DLS.get buf_key in
-  Array.fill b.counts 0 (Array.length b.counts) 0;
-  Array.fill b.hits 0 (Array.length b.hits) 0;
-  Array.fill b.secs 0 (Array.length b.secs) 0.;
   b.dirty <- false;
   Mutex.lock sink_mutex;
+  List.iter
+    (fun b ->
+      Array.fill b.counts 0 (Array.length b.counts) 0;
+      Array.fill b.hits 0 (Array.length b.hits) 0;
+      Array.fill b.secs 0 (Array.length b.secs) 0.)
+    !all_bufs;
   Array.fill !g_counts 0 (Array.length !g_counts) 0;
   Array.fill !g_hits 0 (Array.length !g_hits) 0;
   Array.fill !g_secs 0 (Array.length !g_secs) 0.;
@@ -652,16 +682,77 @@ let hist_merge a b =
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []);
   }
 
+(* A snapshot is the sink plus every live domain's unflushed shard: the
+   serving domain records between flush points, and a reader in another
+   domain (the Prometheus responder, the stats/metrics protocol ops) must
+   see that data without the owner reaching a flush point first.  Shard
+   reads race the owner's unsynchronised increments — word-sized loads
+   never tear, so at worst an in-flight increment is missed and picked up
+   by the next snapshot; flush itself holds [sink_mutex] for its whole
+   add-then-zero, so a value is never counted both in the sink and in a
+   shard. *)
 let snapshot () =
   flush_domain ();
   Mutex.lock sink_mutex;
-  let counts = Array.copy !g_counts in
-  let hits = Array.copy !g_hits in
-  let secs = Array.copy !g_secs in
-  let hn = Array.copy !g_hn in
-  let hsum = Array.copy !g_hsum in
-  let hmax = Array.copy !g_hmax in
-  let hb = Array.map Array.copy !g_hbuckets in
+  let counts = ref (Array.copy !g_counts) in
+  let hits = ref (Array.copy !g_hits) in
+  let secs = ref (Array.copy !g_secs) in
+  let hn = ref (Array.copy !g_hn) in
+  let hsum = ref (Array.copy !g_hsum) in
+  let hmax = ref (Array.copy !g_hmax) in
+  let hb = ref (Array.map Array.copy !g_hbuckets) in
+  List.iter
+    (fun b ->
+      let nc = Array.length b.counts in
+      counts := grow_int !counts nc;
+      for i = 0 to nc - 1 do
+        if b.counts.(i) <> 0 then !counts.(i) <- !counts.(i) + b.counts.(i)
+      done;
+      (* Co-indexed arrays are grown one after the other by their owner;
+         a racing grow can leave them momentarily unequal, so iterate to
+         the shortest (the tail is unobserved-yet data anyway). *)
+      let ns = min (Array.length b.hits) (Array.length b.secs) in
+      hits := grow_int !hits ns;
+      secs := grow_float !secs ns;
+      for i = 0 to ns - 1 do
+        if b.hits.(i) <> 0 then begin
+          !hits.(i) <- !hits.(i) + b.hits.(i);
+          !secs.(i) <- !secs.(i) +. b.secs.(i)
+        end
+      done;
+      let nh =
+        min
+          (min (Array.length b.hn) (Array.length b.hsum))
+          (min (Array.length b.hmax) (Array.length b.hbuckets))
+      in
+      hn := grow_int !hn nh;
+      hsum := grow_float !hsum nh;
+      hmax := grow_float !hmax nh;
+      hb := grow_arr !hb nh;
+      for i = 0 to nh - 1 do
+        if b.hn.(i) > 0 then begin
+          !hn.(i) <- !hn.(i) + b.hn.(i);
+          !hsum.(i) <- !hsum.(i) +. b.hsum.(i);
+          if b.hmax.(i) > !hmax.(i) then !hmax.(i) <- b.hmax.(i);
+          let src = b.hbuckets.(i) in
+          if Array.length src > 0 then begin
+            if Array.length !hb.(i) = 0 then
+              !hb.(i) <- Array.make hist_buckets 0;
+            let dst = !hb.(i) in
+            for k = 0 to hist_buckets - 1 do
+              if src.(k) <> 0 then dst.(k) <- dst.(k) + src.(k)
+            done
+          end
+        end
+      done)
+    !all_bufs;
+  let counts = !counts
+  and hits = !hits
+  and secs = !secs
+  and hn = !hn
+  and hsum = !hsum
+  and hmax = !hmax
+  and hb = !hb in
   Mutex.unlock sink_mutex;
   let cnames = registered_names counters_reg in
   let snames = registered_names spans_reg in

@@ -149,7 +149,12 @@ type snapshot = {
 
 val empty_snapshot : snapshot
 
-(** [snapshot ()] flushes the calling domain and reads the sink. *)
+(** [snapshot ()] flushes the calling domain, then reads the sink merged
+    with every live domain's unflushed shard — so a reader in one domain
+    (a metrics scrape, a stats op) sees what other domains have recorded
+    without those domains reaching a flush point.  Increments in flight
+    on another domain may be missed by one snapshot and picked up by the
+    next; totals are never double-counted and never decrease. *)
 val snapshot : unit -> snapshot
 
 (** Pointwise sum (counters and span hits add; durations add). *)

@@ -197,6 +197,15 @@ let http_response ~status ~content_type body =
     status content_type (String.length body) body
 
 let handle_client ~render fd =
+  (* The accept loop is serial and the reads below block: a peer that
+     connects and then sends nothing (or never drains the response) must
+     not stall every future scrape — and with it the daemon's shutdown
+     join — so both directions get a deadline.  A timed-out read raises
+     through to the caller's handler and the connection is dropped. *)
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let request_line = try input_line ic with End_of_file -> "" in
@@ -254,8 +263,10 @@ let serve_http ?(host = "127.0.0.1") ?on_listen ?(stop = fun () -> false)
           | [], _, _ -> ()
           | _ :: _, _, _ ->
             let fd, _ = Unix.accept sock in
+            (* [Sys_blocked_io] is what a channel read/write raises when
+               the socket deadline set in [handle_client] expires. *)
             (try handle_client ~render fd
-             with Sys_error _ | Unix.Unix_error _ -> ());
+             with Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
             (try Unix.close fd with Unix.Unix_error _ -> ()));
           loop ()
         end

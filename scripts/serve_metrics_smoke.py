@@ -12,7 +12,9 @@ surface the flags turn on:
   * the `metrics` op returns the JSON twin of the exposition: request
     histograms for each driven op plus the server gauges;
   * GET /metrics answers 200 with a text body (written to METRICS_OUT
-    for scripts/check_metrics.py); a non-/metrics path answers 404;
+    for scripts/check_metrics.py) — scraped *before* the `metrics` op so
+    it proves the cross-domain shard merge, not a flush side effect of
+    the serving domain; a non-/metrics path answers 404;
   * the access log holds one JSON object per request, in order, with
     the full field set; the open/add_cfd lines carry the session and
     epoch, the add_cfd line the delta plan; with --slow-ms 0 every
@@ -96,6 +98,32 @@ def main():
         delta = req({"op": "add_cfd", "id": 5, "session": "s",
                      "cfd": "R1([city] -> [AC])"})
         stats = req({"op": "stats", "id": 6})
+
+        # -- HTTP exposition ----------------------------------------------
+        # Scraped *before* any `metrics` op runs on the serving domain:
+        # the responder lives in its own domain, so this only works if
+        # Obs.snapshot merges the serving domain's unflushed shard (a
+        # prior regression had the scrape serving zeros until a protocol
+        # op happened to flush for it).
+        body = urllib.request.urlopen(
+            f"http://127.0.0.1:{metrics_port}/metrics", timeout=30
+        ).read().decode()
+        with open(metrics_out, "w") as out:
+            out.write(body)
+        if not re.search(
+                r'^cfdprop_serve_op_req_us_count\{op="cover"\} [1-9]',
+                body, re.M):
+            fail("scrape before any metrics op lacks the cover op histogram")
+        if not re.search(r"^cfdprop_serve_requests_total [1-9]", body, re.M):
+            fail("scrape before any metrics op lacks serve.requests")
+        try:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/nope", timeout=30)
+            fail("GET /nope did not 404")
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404:
+                fail(f"GET /nope: expected 404, got {exc.code}")
+
         metrics = req({"op": "metrics", "id": 7})
 
         # -- stats surface ------------------------------------------------
@@ -126,20 +154,6 @@ def main():
             fail(f"serve.session_epoch gauge: {gauges}")
         if "serve.memo_entries" not in gauges or "serve.trace_dropped" not in gauges:
             fail(f"missing gauges: {sorted(gauges)}")
-
-        # -- HTTP exposition ----------------------------------------------
-        body = urllib.request.urlopen(
-            f"http://127.0.0.1:{metrics_port}/metrics", timeout=30
-        ).read().decode()
-        with open(metrics_out, "w") as out:
-            out.write(body)
-        try:
-            urllib.request.urlopen(
-                f"http://127.0.0.1:{metrics_port}/nope", timeout=30)
-            fail("GET /nope did not 404")
-        except urllib.error.HTTPError as exc:
-            if exc.code != 404:
-                fail(f"GET /nope: expected 404, got {exc.code}")
 
         sock.close()
         proc.terminate()
