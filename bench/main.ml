@@ -633,6 +633,9 @@ type serve_run = {
   sv_qps : float;
   sv_cover : int;  (** initial cover size — the drift-guarded quantity *)
   sv_deltas : int;
+  sv_swaps : int;  (** epoch swaps = non-noop deltas the session applied *)
+  sv_replica_reads : int array;
+      (** engine acquisitions per replica slot (round-robin balance) *)
   sv_hists : (string * Obs.hist) list;
       (** per-op request histograms ([serve.req_us.<op>]) for this run's
           measured stream only *)
@@ -693,7 +696,9 @@ let serve_run_one ~seed ~domains ~var_pct =
     if domains > 1 then Some (Parallel.Pool.create ~size:domains ())
     else None
   in
-  let server = Serve.Server.create ?pool () in
+  (* One engine replica per domain: reads rotate over the slots while
+     deltas epoch-swap snapshots off to the side. *)
+  let server = Serve.Server.create ?pool ~replicas:domains () in
   let opened =
     Serve.Server.handle_line server
       (Printf.sprintf "{\"op\": \"open\", \"session\": \"b\", \"doc\": %s}"
@@ -796,11 +801,14 @@ let serve_run_one ~seed ~domains ~var_pct =
   let initial_cover =
     (P.Propcover.cover view sigma).P.Propcover.cover |> List.length
   in
+  let st = Serve.Session.stats s in
   Option.iter Parallel.Pool.shutdown pool;
   {
     sv_qps = float_of_int !serve_requests /. t;
     sv_cover = initial_cover;
     sv_deltas = !ndeltas;
+    sv_swaps = st.Serve.Session.patches + st.Serve.Session.fallbacks;
+    sv_replica_reads = Serve.Session.replica_reads s;
     sv_hists = run_hists;
   }
 
@@ -822,6 +830,19 @@ let serve_point ~domains ~var_pct =
       (fun s -> serve_run_one ~seed:(1000 + (7 * s)) ~domains ~var_pct)
       (List.init !seeds Fun.id)
   in
+  (* Elementwise sum of the per-replica read counts across seed runs
+     (every run at this point uses the same replica count). *)
+  let replica_reads =
+    List.fold_left
+      (fun acc r ->
+        let n = max (Array.length acc) (Array.length r.sv_replica_reads) in
+        Array.init n (fun i ->
+            (if i < Array.length acc then acc.(i) else 0)
+            + if i < Array.length r.sv_replica_reads then
+                r.sv_replica_reads.(i)
+              else 0))
+      [||] runs
+  in
   ( {
       (* runtime here is the whole request stream's wall time *)
       runtime = float_of_int !serve_requests /. mean (List.map (fun r -> r.sv_qps) runs);
@@ -830,6 +851,8 @@ let serve_point ~domains ~var_pct =
     },
     mean (List.map (fun r -> r.sv_qps) runs),
     imean (List.map (fun r -> r.sv_deltas) runs),
+    ( imean (List.map (fun r -> r.sv_swaps) runs),
+      replica_reads ),
     merge_hist_tables (List.map (fun r -> r.sv_hists) runs) )
 
 let serve_qps () =
@@ -848,8 +871,12 @@ let serve_qps () =
     List.map
       (fun domains ->
         if !stats_on || !trace_path <> None then Obs.reset ();
-        let p40, qps40, deltas40, hists40 = serve_point ~domains ~var_pct:40 in
-        let p50, qps50, _deltas50, hists50 = serve_point ~domains ~var_pct:50 in
+        let p40, qps40, deltas40, (swaps40, reads40), hists40 =
+          serve_point ~domains ~var_pct:40
+        in
+        let p50, qps50, _deltas50, (swaps50, reads50), hists50 =
+          serve_point ~domains ~var_pct:50
+        in
         let hists = merge_hist_tables [ hists40; hists50 ] in
         (match !trace_path with
          | Some base ->
@@ -881,11 +908,33 @@ let serve_qps () =
                    (Obs.hist_quantile h 0.99))
           |> String.concat ", "
         in
+        let jarr a =
+          "["
+          ^ String.concat ", " (List.map string_of_int (Array.to_list a))
+          ^ "]"
+        in
         let extras =
+          (* Per-replica breakdown: replica_reads is the engine-
+             acquisition count per slot (summed over seed runs and both
+             var% settings), qps_per_replica the aggregate throughput
+             normalised by the slot count — a scaling regression shows
+             up here even when the aggregate hides it. *)
           Printf.sprintf
             ", \"serve\": {\"requests\": %d, \"qps40\": %.1f, \"qps50\": \
-             %.1f, \"deltas_per_run\": %.1f, \"ops\": {%s}}"
-            !serve_requests qps40 qps50 deltas40 ops_json
+             %.1f, \"deltas_per_run\": %.1f, \"replicas\": %d, \
+             \"epoch_swaps_per_run\": %.1f, \"replica_reads\": %s, \
+             \"qps_per_replica40\": %.1f, \"qps_per_replica50\": %.1f, \
+             \"ops\": {%s}}"
+            !serve_requests qps40 qps50 deltas40 domains
+            ((swaps40 +. swaps50) /. 2.)
+            (jarr
+               (Array.init (max (Array.length reads40) (Array.length reads50))
+                  (fun i ->
+                    (if i < Array.length reads40 then reads40.(i) else 0)
+                    + if i < Array.length reads50 then reads50.(i) else 0)))
+            (qps40 /. float_of_int domains)
+            (qps50 /. float_of_int domains)
+            ops_json
         in
         (domains, p40, p50, stats, extras))
       points

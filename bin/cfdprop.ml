@@ -563,8 +563,8 @@ let audit_cmd =
 (* serve: resident (view, Σ) sessions behind the line-JSON protocol
    (lib/serve), over stdin/stdout or a loopback TCP socket. *)
 
-let serve once tcp_port domains max_line stats stats_json metrics_port
-    access_log slow_ms =
+let serve once tcp_port domains replicas max_line stats stats_json
+    metrics_port access_log slow_ms =
   if stats || stats_json <> None then Obs.set_enabled true;
   (* A metrics endpoint without data is useless: --metrics-port implies
      both recording channels (histograms for percentiles, counters for
@@ -588,8 +588,13 @@ let serve once tcp_port domains max_line stats stats_json metrics_port
       (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644)
       access_log
   in
+  (* Engine slots per session: default one per worker domain (so a
+     saturating batch never queues on one compiled engine), overridable
+     with --replicas. *)
+  let replicas = if replicas <= 0 then max 1 domains else replicas in
   let server =
-    Serve.Server.create ?pool ~max_line ?access_log:log_oc ?slow_ms ()
+    Serve.Server.create ?pool ~replicas ~max_line ?access_log:log_oc ?slow_ms
+      ()
   in
   let metrics_stop = Atomic.make false in
   let metrics_domain =
@@ -662,6 +667,18 @@ let serve_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Answer batched requests over a pool of $(docv) worker domains.")
   in
+  let replicas =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Compile $(docv) query-engine replicas per session: reads \
+             rotate round-robin over them lock-free while Σ-deltas build \
+             the next epoch snapshot off to the side and swap it in \
+             atomically.  Defaults to --domains, so a saturating batch \
+             never queues on one engine.")
+  in
   let max_line =
     Arg.(
       value
@@ -725,8 +742,8 @@ let serve_cmd =
           add_cfd/remove_cfd patch Σ incrementally (full recompute only \
           when a delta escapes its relation's minimal-cover slice).")
     Term.(
-      const serve $ once $ tcp_port $ domains $ max_line $ stats $ stats_json
-      $ metrics_port $ access_log $ slow_ms)
+      const serve $ once $ tcp_port $ domains $ replicas $ max_line $ stats
+      $ stats_json $ metrics_port $ access_log $ slow_ms)
 
 let () =
   Format.pp_set_margin Format.std_formatter 10_000;

@@ -64,6 +64,13 @@ val minimal_cover_ir :
     a relation's current slice without re-running line 1. *)
 val slice_key : ns:string -> string -> Cfds.Cfd.t list -> string
 
+(** [slice_digest_ir ctx g] digests a working set of interned CFDs at the
+    IR level (through [Ir.name] — no [to_ast] edge), byte-compatible with
+    [Memo.digest_cfds] over the canonical ASTs.  The Σ_R half of
+    {!slice_key}; also keys {!Rbr}'s cached prune rounds, where it pins
+    every id, symbol and relation of the set being pruned. *)
+val slice_digest_ir : Ir.ctx -> Ir.t list -> string
+
 (** [minimal_cover_db_ir ctx db isigma] groups by relation and covers each
     group over its schema's space.  With [memo], each relation's slice
     cover is cached (as ASTs, re-interned on hit) under

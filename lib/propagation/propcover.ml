@@ -24,6 +24,7 @@ type options = {
   memo : (Memo.t * string) option;
   stable_ids : bool;
   memo_results : bool;
+  rbr_delta : Rbr.delta option;
 }
 
 (* The paper's own implementation partitions the working set and minimises
@@ -39,6 +40,7 @@ let default_options =
     memo = None;
     stable_ids = false;
     memo_results = false;
+    rbr_delta = None;
   }
 
 type result = {
@@ -165,7 +167,9 @@ let intern_universe ctx (v : Spc.t) =
 (* Everything a cached cover depends on besides Σ: the view definition
    (atoms, selection, constants, projection) and every option that can
    change the computed cover's bytes.  The pool is deliberately absent —
-   [Pool.map] is order-preserving, so domain count never changes results. *)
+   [Pool.map] is order-preserving, so domain count never changes results.
+   [rbr_delta] is absent for the same reason: the derivation store caches
+   pure sub-computations, so a seeded run's bytes equal a cold run's. *)
 let instance_digest options (v : Spc.t) =
   let b = Buffer.create 256 in
   Buffer.add_string b (Memo.schema_string v.Spc.source);
@@ -326,8 +330,8 @@ let compute_cover options (v : Spc.t) sigma =
     let sigma_c, completeness =
       Obs.with_span_traced s_rbr (fun () ->
           Rbr.reduce_ir ~ctx ?prune ?pool:options.pool ~engine:options.kernel
-            ?max_size:options.max_intermediate ~order:options.rbr_order sigma_v
-            ~drop_ids)
+            ?delta:options.rbr_delta ?max_size:options.max_intermediate
+            ~order:options.rbr_order sigma_v ~drop_ids)
     in
     (* Line 12: Σd := EQ2CFD(EQ) plus the Rc constants. *)
     let sigma_d =

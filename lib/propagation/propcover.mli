@@ -50,6 +50,16 @@ type options = {
           whole pipeline.  Keys pin the view definition, every
           cover-affecting option, and Σ as given, so hits are trivially
           byte-identical.  Off by default *)
+  rbr_delta : Rbr.delta option;
+      (** derivation store threaded into {!Rbr.reduce_ir}: successive
+          covers sharing the store seed RBR's buckets from each other's
+          surviving resolvents and replay unchanged prune rounds.  Pure
+          sub-computation caching — never changes the cover's bytes (so
+          it is absent from the instance digest) — but sound only when
+          every sharing call uses [stable_ids] over the same
+          (schema, view) pair, as the resident sessions do.  Bypassed
+          while provenance records.  [None] (the default) derives
+          everything from scratch *)
 }
 
 val default_options : options

@@ -27,24 +27,38 @@ type t = {
   memo : Propagation.Memo.t;
   pool : Parallel.Pool.t option;
   kernel : Propagation.Fast_impl.engine;
+  replicas : int;  (* engine slots per session *)
   max_line : int;
   access_log : out_channel option;
   log_lock : Mutex.t;  (* serialises access-log lines under handle_batch *)
   slow_us : float option;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* guards tbl/order/next_id (session opens/reuse) *)
   tbl : (string, Session.t) Hashtbl.t;
   mutable order : string list;  (* session names, newest first *)
   mutable next_id : int;
-  mutable requests : int;
-  mutable errors : int;
+  (* Lock-free mirror of (order, tbl), newest first, rebuilt under
+     [lock] whenever a session lands — the read path (every request
+     naming a session) never touches [lock]. *)
+  cache : (string * Session.t) list Atomic.t;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
 }
 
-let create ?pool ?(kernel = `Packed) ?(max_line = Protocol.default_max_len)
-    ?access_log ?slow_ms () =
+let create ?pool ?(kernel = `Packed) ?replicas
+    ?(max_line = Protocol.default_max_len) ?access_log ?slow_ms () =
+  let replicas =
+    match replicas with
+    | Some n -> max 1 n
+    | None -> (
+      (* Default: one engine slot per worker domain, so a saturating
+         [handle_batch] never queues on a slot. *)
+      match pool with Some p -> Parallel.Pool.size p | None -> 1)
+  in
   {
     memo = Propagation.Memo.create ();
     pool;
     kernel;
+    replicas;
     max_line;
     access_log;
     log_lock = Mutex.create ();
@@ -53,21 +67,28 @@ let create ?pool ?(kernel = `Packed) ?(max_line = Protocol.default_max_len)
     tbl = Hashtbl.create 16;
     order = [];
     next_id = 1;
-    requests = 0;
-    errors = 0;
+    cache = Atomic.make [];
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
   }
 
 let memo t = t.memo
+let replicas t = t.replicas
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
-let sessions t =
-  with_lock t (fun () ->
-      List.rev_map (fun n -> Hashtbl.find t.tbl n) t.order)
+(* Under t.lock. *)
+let rebuild_cache t =
+  Atomic.set t.cache
+    (List.filter_map
+       (fun n ->
+         Option.map (fun s -> (n, s)) (Hashtbl.find_opt t.tbl n))
+       t.order)
 
-let find_session t name = with_lock t (fun () -> Hashtbl.find_opt t.tbl name)
+let sessions t = List.rev_map snd (Atomic.get t.cache)
+let find_session t name = List.assoc_opt name (Atomic.get t.cache)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers *)
@@ -153,18 +174,21 @@ let do_open t ~session ~doc ~view =
           (* a closed session's name may be reused *)
           t.order <- name :: List.filter (fun n -> n <> name) t.order;
           Hashtbl.remove t.tbl name;
+          rebuild_cache t;
           Ok name)
   in
   match
-    Session.create ~kernel:t.kernel ?pool:t.pool ~memo:t.memo ~name ~view
-      ~sigma ()
+    Session.create ~kernel:t.kernel ?pool:t.pool ~replicas:t.replicas
+      ~memo:t.memo ~name ~view ~sigma ()
   with
   | Error _ as e ->
     with_lock t (fun () ->
         t.order <- List.filter (fun n -> n <> name) t.order);
     e
   | Ok s ->
-    with_lock t (fun () -> Hashtbl.replace t.tbl name s);
+    with_lock t (fun () ->
+        Hashtbl.replace t.tbl name s;
+        rebuild_cache t);
     Obs.incr c_opened;
     let r = Session.cover s in
     Ok
@@ -204,16 +228,14 @@ let stats_fields t =
           ("recomputes", jnum st.Session.recomputes);
           ("noops", jnum st.Session.noops);
           ("epoch", jnum st.Session.epoch);
+          ("replicas", jnum st.Session.replicas);
           ("closed", Json.Bool (Session.closed s));
         ] )
   in
   let sessions = sessions t in
-  let requests, errors =
-    with_lock t (fun () -> (t.requests, t.errors))
-  in
   [
-    ("requests", jnum requests);
-    ("errors", jnum errors);
+    ("requests", jnum (Atomic.get t.requests));
+    ("errors", jnum (Atomic.get t.errors));
     ("trace_dropped", jnum (Obs.trace_dropped ()));
     ("memo_entries", jnum (Propagation.Memo.entries t.memo));
     ("sessions", Json.Obj (List.map per_session sessions));
@@ -226,7 +248,10 @@ let gauges t =
   let sessions = sessions t in
   let open_sessions = List.filter (fun s -> not (Session.closed s)) sessions in
   let g name value = { Metrics.g_name = name; g_label = None; g_value = value } in
-  [ g "serve.sessions" (float_of_int (List.length open_sessions)) ]
+  [
+    g "serve.sessions" (float_of_int (List.length open_sessions));
+    g "serve.replicas" (float_of_int t.replicas);
+  ]
   @ List.map
       (fun s ->
         {
@@ -369,7 +394,7 @@ let handle_line_counted t line =
       Obs.hist_enabled () || t.access_log <> None || t.slow_us <> None
     in
     let t0 = if timed then Obs.now () else 0. in
-    with_lock t (fun () -> t.requests <- t.requests + 1);
+    Atomic.incr t.requests;
     Obs.incr c_requests;
     let op = ref "invalid" in
     let session = ref None in
@@ -419,7 +444,7 @@ let handle_line_counted t line =
     match outcome with
     | Ok fields -> (Protocol.ok ?id fields, false)
     | Error msg ->
-      with_lock t (fun () -> t.errors <- t.errors + 1);
+      Atomic.incr t.errors;
       Obs.incr c_errors;
       (Protocol.error ?id msg, true)
   end

@@ -5,16 +5,21 @@
 
     One server owns one shared {!Propagation.Memo}: sessions on the same
     schema share line-1 slices, full-result entries and implication
-    verdicts across epochs {e and} across sessions.  The session table
-    is guarded by its own mutex; request handling never holds it across
-    a compute (the per-session lock serialises actual work). *)
+    verdicts across epochs {e and} across sessions.  Session opens go
+    through a table mutex, but the request path is lock-free at the
+    server tier: session lookup reads an atomic mirror of the table, and
+    the request/error totals are atomics.  Per-session concurrency is
+    the session's own affair — epoch-swapped snapshots with [replicas]
+    engine slots (see {!Session}). *)
 
 type t
 
 (** [create ()] — [pool] batches concurrent requests across domains in
     {!handle_batch}; [kernel] selects the implication engine for every
-    session; [max_line] caps accepted request lines (default
-    {!Protocol.default_max_len}).
+    session; [replicas] fixes each session's engine-slot count (floored
+    to 1; default: the pool's worker count, or 1 without a pool), so a
+    saturating batch never queues on one compiled engine; [max_line]
+    caps accepted request lines (default {!Protocol.default_max_len}).
 
     [access_log] turns on the structured access log: one JSON object per
     handled request ([ts], [id], [session], [op], [epoch], [plan],
@@ -30,6 +35,7 @@ type t
 val create :
   ?pool:Parallel.Pool.t ->
   ?kernel:Propagation.Fast_impl.engine ->
+  ?replicas:int ->
   ?max_line:int ->
   ?access_log:out_channel ->
   ?slow_ms:float ->
@@ -37,6 +43,9 @@ val create :
   t
 
 val memo : t -> Propagation.Memo.t
+
+(** Engine slots each session is created with. *)
+val replicas : t -> int
 
 (** [prometheus t] — the Prometheus text exposition of the current
     {!Obs.snapshot} plus the server gauges (resident sessions,

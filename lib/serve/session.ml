@@ -5,10 +5,13 @@ module Mincover = Propagation.Mincover
 module Fast_impl = Propagation.Fast_impl
 module Memo = Propagation.Memo
 module Provenance = Propagation.Provenance
+module Rbr = Propagation.Rbr
 
 let c_patches = Obs.counter "serve.delta_patches"
 let c_fallbacks = Obs.counter "serve.fallbacks"
 let c_queries = Obs.counter "serve.queries"
+let c_replica_reads = Obs.counter "serve.replica_reads"
+let c_epoch_swaps = Obs.counter "serve.epoch_swaps"
 let s_recompute = Obs.span "serve.recompute"
 let s_delta = Obs.span "serve.delta"
 let h_delta_noop = Obs.histogram "serve.delta_us.noop"
@@ -85,14 +88,31 @@ type stats = {
   recomputes : int;
   noops : int;
   epoch : int;
+  replicas : int;
 }
 
-type mutable_stats = {
-  mutable m_queries : int;
-  mutable m_patches : int;
-  mutable m_fallbacks : int;
-  mutable m_recomputes : int;
-  mutable m_noops : int;
+(* One query replica: a compiled engine behind its own mutex.  A
+   [Fast_impl.compiled] owns mutable chase scratch and must be confined
+   to one domain at a time; N slots let N domains chase concurrently
+   against the same snapshot's cover. *)
+type slot = { slot_lock : Mutex.t; slot_compiled : Fast_impl.compiled }
+
+(* Everything a reader needs, frozen at one epoch.  A snapshot is
+   immutable after construction (the [slot_compiled] scratch mutates
+   under [slot_lock], but never in a way observable through [implies];
+   [snap_attribution] is a monotone lazy cell) — so a single [Atomic.get]
+   yields a coherent (epoch, Σ, cover, digest, slices, engines) tuple and
+   readers can never observe a torn or mixed-epoch state. *)
+type snapshot = {
+  snap_epoch : int;
+  snap_sigma : C.t list;
+  snap_result : Propcover.result;
+  snap_cover_digest : string;
+  snap_slices : (string * C.t list) list;
+      (* per atom-base relation: the line-1 slice output of this Σ, in
+         normalize_sigma form — the old side of Tier-B checks *)
+  snap_slots : slot array;
+  snap_attribution : (C.t * C.t list) list option Atomic.t;
 }
 
 type t = {
@@ -104,18 +124,17 @@ type t = {
   options : Propcover.options;
   kernel : Fast_impl.engine;
   atom_bases : string list;
-  lock : Mutex.t;
-  mutable is_closed : bool;
-  mutable cur_epoch : int;
-  mutable cur_sigma : C.t list;
-  mutable result : Propcover.result;
-  mutable compiled : Fast_impl.compiled;
-  mutable cover_digest : string;
-  mutable slices : (string * C.t list) list;
-      (* per atom-base relation: the line-1 slice output of the current
-         Σ, in normalize_sigma form — the old side of Tier-B checks *)
-  mutable attribution : (C.t * C.t list) list option;
-  st : mutable_stats;
+  replicas : int;
+  rr : int Atomic.t;  (* round-robin cursor over the slots *)
+  slot_reads : int Atomic.t array;  (* per-replica engine acquisitions *)
+  snap : snapshot Atomic.t;
+  writer : Mutex.t;  (* serialises deltas; readers never take it *)
+  is_closed : bool Atomic.t;
+  st_queries : int Atomic.t;
+  st_patches : int Atomic.t;
+  st_fallbacks : int Atomic.t;
+  st_recomputes : int Atomic.t;
+  st_noops : int Atomic.t;
 }
 
 let normalize_sigma l = List.sort_uniq C.compare (List.map C.canonical l)
@@ -158,30 +177,59 @@ let name t = t.name
 let view t = t.view
 
 let fresh_options t =
-  { t.options with Propcover.memo = None; memo_results = false }
+  {
+    t.options with
+    Propcover.memo = None;
+    memo_results = false;
+    rbr_delta = None;
+  }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
-
-let epoch t = with_lock t (fun () -> t.cur_epoch)
-let sigma t = with_lock t (fun () -> t.cur_sigma)
-let cover t = with_lock t (fun () -> t.result)
-let closed t = with_lock t (fun () -> t.is_closed)
-let close t = with_lock t (fun () -> t.is_closed <- true)
-
-let stats t =
-  with_lock t (fun () ->
+(* One freshly compiled engine per replica.  Patched-tier deltas reuse
+   the previous snapshot's slots (the cover is unchanged); only
+   Recomputed-tier deltas pay this. *)
+let compile_slots ~kernel ~replicas view cover =
+  Array.init replicas (fun _ ->
       {
-        queries = t.st.m_queries;
-        patches = t.st.m_patches;
-        fallbacks = t.st.m_fallbacks;
-        recomputes = t.st.m_recomputes;
-        noops = t.st.m_noops;
-        epoch = t.cur_epoch;
+        slot_lock = Mutex.create ();
+        slot_compiled = Fast_impl.compile ~engine:kernel (Spc.view_schema view) cover;
       })
 
-let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
+let snapshot t = Atomic.get t.snap
+let epoch t = (snapshot t).snap_epoch
+let sigma t = (snapshot t).snap_sigma
+let cover t = (snapshot t).snap_result
+let closed t = Atomic.get t.is_closed
+let close t = Atomic.set t.is_closed true
+let replicas t = t.replicas
+let replica_reads t = Array.map Atomic.get t.slot_reads
+
+let stats t =
+  {
+    queries = Atomic.get t.st_queries;
+    patches = Atomic.get t.st_patches;
+    fallbacks = Atomic.get t.st_fallbacks;
+    recomputes = Atomic.get t.st_recomputes;
+    noops = Atomic.get t.st_noops;
+    epoch = epoch t;
+    replicas = t.replicas;
+  }
+
+(* Acquire one replica engine of [snap] round-robin and run [f] on it.
+   The cursor is a plain fetch-and-add — perfect rotation under
+   contention matters less than staying lock-free. *)
+let with_slot t (snap : snapshot) f =
+  let n = Array.length snap.snap_slots in
+  let i = if n = 1 then 0 else Atomic.fetch_and_add t.rr 1 land max_int mod n in
+  Atomic.incr t.slot_reads.(i);
+  Obs.incr c_replica_reads;
+  let s = snap.snap_slots.(i) in
+  Mutex.lock s.slot_lock;
+  Fun.protect
+    (fun () -> f s.slot_compiled)
+    ~finally:(fun () -> Mutex.unlock s.slot_lock)
+
+let create ?(kernel = `Packed) ?pool ?(replicas = 1) ~memo ~name ~view ~sigma
+    () =
   match
     List.find_opt
       (fun c -> not (Schema.mem view.Spc.source c.C.rel))
@@ -189,6 +237,7 @@ let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
   with
   | Some c -> Error (Printf.sprintf "CFD on unknown source relation %s" c.C.rel)
   | None ->
+    let replicas = max 1 replicas in
     let sigma = normalize_sigma sigma in
     let ns = namespace kernel view.Spc.source in
     let options =
@@ -199,6 +248,7 @@ let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
         stable_ids = true;
         memo_results = true;
         memo = Some (memo, ns);
+        rbr_delta = Some (Rbr.create_delta ());
       }
     in
     let atom_bases =
@@ -209,9 +259,17 @@ let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
       Obs.with_span s_recompute (fun () ->
           with_prov_reader (fun () -> Propcover.cover ~options view sigma))
     in
-    let compiled =
-      Fast_impl.compile ~engine:kernel (Spc.view_schema view)
-        result.Propcover.cover
+    let snap0 =
+      {
+        snap_epoch = 0;
+        snap_sigma = sigma;
+        snap_result = result;
+        snap_cover_digest = Memo.digest_cfds result.Propcover.cover;
+        snap_slices = refresh_slices ~memo ~ns ~kernel view atom_bases sigma;
+        snap_slots =
+          compile_slots ~kernel ~replicas view result.Propcover.cover;
+        snap_attribution = Atomic.make None;
+      }
     in
     Ok
       {
@@ -223,51 +281,29 @@ let create ?(kernel = `Packed) ?pool ~memo ~name ~view ~sigma () =
         options;
         kernel;
         atom_bases;
-        lock = Mutex.create ();
-        is_closed = false;
-        cur_epoch = 0;
-        cur_sigma = sigma;
-        result;
-        compiled;
-        cover_digest = Memo.digest_cfds result.Propcover.cover;
-        slices = refresh_slices ~memo ~ns ~kernel view atom_bases sigma;
-        attribution = None;
-        st =
-          {
-            m_queries = 0;
-            m_patches = 0;
-            m_fallbacks = 0;
-            m_recomputes = 1;
-            m_noops = 0;
-          };
+        replicas;
+        rr = Atomic.make 0;
+        slot_reads = Array.init replicas (fun _ -> Atomic.make 0);
+        snap = Atomic.make snap0;
+        writer = Mutex.create ();
+        is_closed = Atomic.make false;
+        st_queries = Atomic.make 0;
+        st_patches = Atomic.make 0;
+        st_fallbacks = Atomic.make 0;
+        st_recomputes = Atomic.make 1;
+        st_noops = Atomic.make 0;
       }
 
-let ensure_open t f = if t.is_closed then Error "session closed" else f ()
+let ensure_open t f =
+  if Atomic.get t.is_closed then Error "session closed" else f ()
 
-(* Under t.lock. *)
-let recompute t sigma' =
-  let result =
-    Obs.with_span s_recompute (fun () ->
-        with_prov_reader (fun () ->
-            Propcover.cover ~options:t.options t.view sigma'))
-  in
-  t.cur_sigma <- sigma';
-  t.result <- result;
-  t.compiled <-
-    Fast_impl.compile ~engine:t.kernel (Spc.view_schema t.view)
-      result.Propcover.cover;
-  t.cover_digest <- Memo.digest_cfds result.Propcover.cover;
-  t.slices <-
-    refresh_slices ~memo:t.memo ~ns:t.ns ~kernel:t.kernel t.view t.atom_bases
-      sigma';
-  t.attribution <- None;
-  t.st.m_recomputes <- t.st.m_recomputes + 1
-
-(* Under t.lock: the lazily materialised cover → Σ-axiom attribution.
+(* The lazily materialised cover → Σ-axiom attribution of one snapshot.
    Provenance-enabled runs bypass every cache, so this is a full pipeline
-   run — done once per cover, only when an explain asks for it. *)
-let attribution t =
-  match t.attribution with
+   run — done at most once per snapshot, only when an explain asks for
+   it.  The cell is monotone (None → Some, never back); two racing
+   explains may both compute it, writing identical values. *)
+let attribution t (snap : snapshot) =
+  match Atomic.get snap.snap_attribution with
   | Some a -> a
   | None ->
     let opts = fresh_options t in
@@ -277,12 +313,12 @@ let attribution t =
           Fun.protect
             ~finally:(fun () -> Provenance.set_enabled false)
             (fun () ->
-              let r = Propcover.cover ~options:opts t.view t.cur_sigma in
+              let r = Propcover.cover ~options:opts t.view snap.snap_sigma in
               List.map
                 (fun m -> (m, List.map fst (Provenance.sources m)))
                 r.Propcover.cover))
     in
-    t.attribution <- Some a;
+    Atomic.set snap.snap_attribution (Some a);
     a
 
 let validate_query t (phi : C.t) =
@@ -306,56 +342,63 @@ let validate_query t (phi : C.t) =
 
 let ( let* ) = Result.bind
 
-(* Under t.lock.  Memoised per (instance, cover, φ): verdicts survive
-   every cover-neutral delta because the key digests the cover itself. *)
-let verdict t phi =
-  let phi = C.canonical phi in
-  if t.result.Propcover.always_empty then true
+(* Memoised per (instance, cover, φ): verdicts survive every
+   cover-neutral delta because the key digests the cover itself.  The
+   memo probe is lock-free; only a miss acquires a replica engine. *)
+let verdict t (snap : snapshot) phi =
+  if snap.snap_result.Propcover.always_empty then true
   else
     let key =
-      "verdict:" ^ t.ns ^ ":" ^ t.vdigest ^ ":" ^ t.cover_digest ^ ":"
+      "verdict:" ^ t.ns ^ ":" ^ t.vdigest ^ ":" ^ snap.snap_cover_digest ^ ":"
       ^ Memo.digest_cfd phi
     in
     match
       Memo.find_or_compute t.memo key (fun () ->
-          Memo.Verdict (Fast_impl.implies t.compiled phi))
+          Memo.Verdict
+            (with_slot t snap (fun compiled -> Fast_impl.implies compiled phi)))
     with
     | Memo.Verdict v, _ -> v
-    | _ -> Fast_impl.implies t.compiled phi
+    | _ -> with_slot t snap (fun compiled -> Fast_impl.implies compiled phi)
 
 let propagates t phi =
-  with_lock t @@ fun () ->
   ensure_open t @@ fun () ->
   let* () = validate_query t phi in
-  t.st.m_queries <- t.st.m_queries + 1;
+  let phi = C.canonical phi in
+  Atomic.incr t.st_queries;
   Obs.incr c_queries;
-  Ok (verdict t phi, t.cur_epoch)
+  let snap = Atomic.get t.snap in
+  Ok (verdict t snap phi, snap.snap_epoch)
 
 let explain t phi =
-  with_lock t @@ fun () ->
   ensure_open t @@ fun () ->
   let* () = validate_query t phi in
-  t.st.m_queries <- t.st.m_queries + 1;
+  Atomic.incr t.st_queries;
   Obs.incr c_queries;
-  if t.result.Propcover.always_empty then
+  let snap = Atomic.get t.snap in
+  if snap.snap_result.Propcover.always_empty then
     Ok
       {
         propagated = true;
         vacuous = true;
         used = [];
         sources = [];
-        epoch = t.cur_epoch;
+        epoch = snap.snap_epoch;
       }
   else begin
     let phi = C.canonical phi in
-    let fired = Bytes.make (Fast_impl.num_rules t.compiled) '\000' in
-    if Fast_impl.implies ~fired t.compiled phi then begin
+    let fired_opt =
+      with_slot t snap (fun compiled ->
+          let fired = Bytes.make (Fast_impl.num_rules compiled) '\000' in
+          if Fast_impl.implies ~fired compiled phi then Some fired else None)
+    in
+    match fired_opt with
+    | Some fired ->
       let used =
         List.filteri
           (fun i _ -> Bytes.get fired i = '\001')
-          t.result.Propcover.cover
+          snap.snap_result.Propcover.cover
       in
-      let attr = attribution t in
+      let attr = attribution t snap in
       let sources =
         List.map
           (fun m ->
@@ -366,16 +409,21 @@ let explain t phi =
           used
       in
       Ok
-        { propagated = true; vacuous = false; used; sources; epoch = t.cur_epoch }
-    end
-    else
+        {
+          propagated = true;
+          vacuous = false;
+          used;
+          sources;
+          epoch = snap.snap_epoch;
+        }
+    | None ->
       Ok
         {
           propagated = false;
           vacuous = false;
           used = [];
           sources = [];
-          epoch = t.cur_epoch;
+          epoch = snap.snap_epoch;
         }
   end
 
@@ -392,25 +440,30 @@ let diff_covers old_cover new_cover =
   in
   (added, removed)
 
+(* Deltas serialise under [t.writer]; each builds the next snapshot off
+   to the side and publishes it with a single [Atomic.set] — the epoch
+   bump readers observe all-or-nothing. *)
 let apply_delta_locked t dop c =
-  with_lock t @@ fun () ->
+  Mutex.lock t.writer;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.writer) @@ fun () ->
   ensure_open t @@ fun () ->
   Obs.with_span s_delta @@ fun () ->
   let c = C.canonical c in
   if not (Schema.mem t.view.Spc.source c.C.rel) then
     Error (Printf.sprintf "CFD on unknown source relation %s" c.C.rel)
   else begin
-    let present = List.exists (C.equal c) t.cur_sigma in
+    let snap = Atomic.get t.snap in
+    let present = List.exists (C.equal c) snap.snap_sigma in
     let noop =
       match dop with `Add -> present | `Remove -> not present
     in
     if noop then begin
-      t.st.m_noops <- t.st.m_noops + 1;
+      Atomic.incr t.st_noops;
       Ok
         {
           plan = Noop;
-          epoch = t.cur_epoch;
-          cover_size = List.length t.result.Propcover.cover;
+          epoch = snap.snap_epoch;
+          cover_size = List.length snap.snap_result.Propcover.cover;
           changed = false;
           added = [];
           removed = [];
@@ -420,24 +473,37 @@ let apply_delta_locked t dop c =
     else begin
       let sigma' =
         match dop with
-        | `Add -> normalize_sigma (c :: t.cur_sigma)
-        | `Remove -> List.filter (fun d -> not (C.equal d c)) t.cur_sigma
+        | `Add -> normalize_sigma (c :: snap.snap_sigma)
+        | `Remove -> List.filter (fun d -> not (C.equal d c)) snap.snap_sigma
       in
       let rel = c.C.rel in
-      let patch () =
-        t.cur_sigma <- sigma';
-        t.cur_epoch <- t.cur_epoch + 1;
-        (* Attribution maps cover members to axioms; a patched delta
-           leaves the cover intact but can change which axioms exist /
-           are redundant, so the lazily-built map is dropped. *)
-        t.attribution <- None;
-        t.st.m_patches <- t.st.m_patches + 1;
+      let swap snap' =
+        Atomic.set t.snap snap';
+        Obs.incr c_epoch_swaps
+      in
+      let patch slices' =
+        (* The cover is unchanged, so the previous snapshot's compiled
+           slots carry over verbatim.  Attribution maps cover members to
+           axioms; a patched delta leaves the cover intact but can change
+           which axioms exist / are redundant, so the new snapshot starts
+           with an empty lazy cell. *)
+        let snap' =
+          {
+            snap with
+            snap_epoch = snap.snap_epoch + 1;
+            snap_sigma = sigma';
+            snap_slices = slices';
+            snap_attribution = Atomic.make None;
+          }
+        in
+        swap snap';
+        Atomic.incr t.st_patches;
         Obs.incr c_patches;
         Ok
           {
             plan = Patched;
-            epoch = t.cur_epoch;
-            cover_size = List.length t.result.Propcover.cover;
+            epoch = snap'.snap_epoch;
+            cover_size = List.length snap.snap_result.Propcover.cover;
             changed = false;
             added = [];
             removed = [];
@@ -447,32 +513,34 @@ let apply_delta_locked t dop c =
       if not (List.mem rel t.atom_bases) then
         (* Tier A: the relation feeds no view atom, so lines 5-6 filter
            every CFD of it out — the pipeline input is untouched. *)
-        patch ()
+        patch snap.snap_slices
       else begin
         let old_slice =
-          match List.assoc_opt rel t.slices with Some s -> s | None -> []
+          match List.assoc_opt rel snap.snap_slices with
+          | Some s -> s
+          | None -> []
         in
         let new_slice =
           compute_slice ~memo:t.memo ~ns:t.ns ~kernel:t.kernel
             t.view.Spc.source sigma' rel
         in
-        if cfds_equal old_slice new_slice then begin
+        if cfds_equal old_slice new_slice then
           (* Tier B: the delta is absorbed by MinCover(Σ_R) — every
              downstream stage sees element-wise identical input.  Keep
              the recomputed slice entry for the next delta's old side. *)
-          t.slices <-
-            (rel, new_slice) :: List.remove_assoc rel t.slices;
-          patch ()
-        end
+          patch ((rel, new_slice) :: List.remove_assoc rel snap.snap_slices)
         else begin
-          (* Tier C: full recompute, warm through the memo.  Attribution
-             (when already materialised) narrows the report of which
-             members a removal touched; it can never license skipping
-             the recompute — minimal covers are not monotone under
-             axiom deletion. *)
-          let old_cover = t.result.Propcover.cover in
+          (* Tier C: full recompute, warm through the memo and the RBR
+             derivation store (the new engine's buckets seed from the old
+             run's surviving resolvents; the final re-prune still runs,
+             so the cover stays byte-identical to from-scratch).
+             Attribution (when already materialised) narrows the report
+             of which members a removal touched; it can never license
+             skipping the recompute — minimal covers are not monotone
+             under axiom deletion. *)
+          let old_cover = snap.snap_result.Propcover.cover in
           let stale =
-            match t.attribution, dop with
+            match Atomic.get snap.snap_attribution, dop with
             | Some attr, `Remove ->
               Some
                 (List.filter_map
@@ -482,16 +550,36 @@ let apply_delta_locked t dop c =
             | Some _, `Add -> Some []
             | None, _ -> None
           in
-          recompute t sigma';
-          t.cur_epoch <- t.cur_epoch + 1;
-          t.st.m_fallbacks <- t.st.m_fallbacks + 1;
+          let result =
+            Obs.with_span s_recompute (fun () ->
+                with_prov_reader (fun () ->
+                    Propcover.cover ~options:t.options t.view sigma'))
+          in
+          let snap' =
+            {
+              snap_epoch = snap.snap_epoch + 1;
+              snap_sigma = sigma';
+              snap_result = result;
+              snap_cover_digest = Memo.digest_cfds result.Propcover.cover;
+              snap_slices =
+                refresh_slices ~memo:t.memo ~ns:t.ns ~kernel:t.kernel t.view
+                  t.atom_bases sigma';
+              snap_slots =
+                compile_slots ~kernel:t.kernel ~replicas:t.replicas t.view
+                  result.Propcover.cover;
+              snap_attribution = Atomic.make None;
+            }
+          in
+          swap snap';
+          Atomic.incr t.st_fallbacks;
+          Atomic.incr t.st_recomputes;
           Obs.incr c_fallbacks;
-          let new_cover = t.result.Propcover.cover in
+          let new_cover = result.Propcover.cover in
           let added, removed = diff_covers old_cover new_cover in
           Ok
             {
               plan = Recomputed;
-              epoch = t.cur_epoch;
+              epoch = snap'.snap_epoch;
               cover_size = List.length new_cover;
               changed = not (cfds_equal old_cover new_cover);
               added;

@@ -1,18 +1,32 @@
 (** One resident (view, Σ) propagation session: the compiled state a
     [cfdprop serve] daemon keeps warm across requests — the current
-    minimal propagation cover, a {!Propagation.Fast_impl} engine compiled
+    minimal propagation cover, {!Propagation.Fast_impl} engines compiled
     from it for [propagates?] queries, the per-relation line-1 slices,
     and (lazily) the provenance attribution of each cover member.
 
-    {2 State ownership and invalidation}
+    {2 State ownership: epoch-swapped snapshots behind replica slots}
 
-    All mutable state is owned by the session and guarded by one mutex;
-    every operation is atomic and the compiled engine (whose chase arena
-    is confined to one domain at a time) is only ever driven under it —
-    concurrent callers serialise, so any interleaving of reads and deltas
-    is trivially serializable.  Shared, append-only state lives in the
-    server's {!Propagation.Memo} (line-1 slices, full results, verdicts),
-    which is safe across domains by construction.
+    The session is a thin coordinator over {e immutable epoch-stamped
+    snapshots}.  A snapshot freezes everything a reader needs — Σ, the
+    cover with its digest, the per-relation slices, and an array of
+    [replicas] compiled engines — and is published through one [Atomic]
+    cell.  Reads ([epoch]/[sigma]/[cover]/[propagates]/[explain]) are
+    lock-free at the session level: one [Atomic.get] yields a coherent
+    tuple, so a reader can never observe a torn or mixed-epoch state,
+    and sequential reads observe monotonically non-decreasing epochs.
+    The only locks a read can touch are a replica slot's (each compiled
+    engine owns mutable chase scratch confined to one domain at a time;
+    queries rotate round-robin over the slots, counted
+    [serve.replica_reads]) and the memo's stripe — both sharded, neither
+    shared with deltas.
+
+    Deltas ([add_cfd]/[remove_cfd]) serialise on a writer mutex, build
+    the next snapshot off to the side, and atomically swap it in as an
+    epoch bump (counted [serve.epoch_swaps]).  Readers in flight keep
+    answering from the old snapshot; new reads see the new one.  Shared,
+    append-only state lives in the server's {!Propagation.Memo} (line-1
+    slices, full results, verdicts), safe across domains by
+    construction.
 
     {2 The Σ-delta planner}
 
@@ -27,15 +41,21 @@
       atom-relation CFDs, so the pipeline input is untouched), or the
       recomputed per-relation line-1 slice is set-identical to the old
       one (then every downstream stage sees element-wise identical
-      input).  Σ is patched in place; the cover, engine, and memoised
-      verdicts are provably still exact.
+      input).  The next snapshot shares the cover, digest, and compiled
+      slots with the old one; only Σ and the slices change.
     - {b Recomputed} (counted [serve.fallbacks]): anything else — minimal
       covers are not monotone under axiom deletion, so provenance
       attribution alone can never justify skipping the recompute; it only
       narrows the {e report} of which members were touched.  The
-      recompute runs warm through the memo: untouched relations' slices
-      hit, and a Σ seen at an earlier epoch (delta round-trips) hits the
-      full-result cache.
+      recompute runs warm through the memo (untouched relations' slices
+      hit; a Σ seen at an earlier epoch hits the full-result cache) and
+      through the session's {!Propagation.Rbr} derivation store: the new
+      RBR engine's buckets seed from the previous run's surviving
+      resolvents and unchanged prune rounds replay from cache
+      ([rbr.delta_seeded]/[rbr.delta_reuse]), while the final re-prune
+      always runs — byte-identity with from-scratch is preserved and
+      asserted by the differential walks.  [replicas] fresh engines are
+      compiled for the new cover.
     - {b Noop}: adding a CFD already in Σ / removing an absent one. *)
 
 open Relational
@@ -72,7 +92,8 @@ type stats = {
   fallbacks : int;
   recomputes : int;  (** full pipeline runs, including the initial one *)
   noops : int;
-  epoch : int;  (** current epoch, read atomically with the counts *)
+  epoch : int;
+  replicas : int;  (** size of the replica slot array (fixed at create) *)
 }
 
 (** [normalize_sigma l] is the session's canonical Σ form — each CFD
@@ -81,13 +102,14 @@ type stats = {
 val normalize_sigma : Cfds.Cfd.t list -> Cfds.Cfd.t list
 
 (** [create ~memo ~name ~view ~sigma ()] computes the initial cover
-    (epoch 0) and compiles the query engine.  [memo] may be shared with
-    other sessions — keys are namespaced by a digest of the schema, the
-    kernel, and the stable-id discipline.  Errors on CFDs over unknown
-    source relations. *)
+    (epoch 0) and compiles [replicas] (default 1, floored to 1) query
+    engines.  [memo] may be shared with other sessions — keys are
+    namespaced by a digest of the schema, the kernel, and the stable-id
+    discipline.  Errors on CFDs over unknown source relations. *)
 val create :
   ?kernel:Propagation.Fast_impl.engine ->
   ?pool:Parallel.Pool.t ->
+  ?replicas:int ->
   memo:Propagation.Memo.t ->
   name:string ->
   view:Spc.t ->
@@ -99,31 +121,42 @@ val name : t -> string
 val view : t -> Spc.t
 
 (** The exact options a from-scratch differential run must use to be
-    byte-comparable with the session ([stable_ids] on, no memo). *)
+    byte-comparable with the session ([stable_ids] on, no memo, no
+    derivation store). *)
 val fresh_options : t -> Propagation.Propcover.options
 
-(** Current epoch: 0 after [create], +1 per applied (non-noop) delta. *)
+(** Current epoch: 0 after [create], +1 per applied (non-noop) delta.
+    Lock-free. *)
 val epoch : t -> int
 
-(** The current Σ, in {!normalize_sigma} form. *)
+(** The current Σ, in {!normalize_sigma} form.  Lock-free. *)
 val sigma : t -> Cfds.Cfd.t list
 
 (** The current cover (sorted as [Propcover.cover] returns it), with the
-    completeness flags. *)
+    completeness flags.  Lock-free. *)
 val cover : t -> Propagation.Propcover.result
 
 val stats : t -> stats
 
-(** [propagates t phi] — [Σ |=_V φ], answered from the compiled engine
-    (memoised per (instance, cover, φ), so verdicts survive cover-neutral
-    deltas).  Returns the verdict and the epoch it was answered at.
-    Errors when [phi] is not a CFD over the view. *)
+(** Number of replica engine slots. *)
+val replicas : t -> int
+
+(** Cumulative engine acquisitions per replica slot, index-aligned with
+    the slot array — the bench's per-replica breakdown.  Counts persist
+    across epoch swaps (slots are renewed, the counters are not). *)
+val replica_reads : t -> int array
+
+(** [propagates t phi] — [Σ |=_V φ], answered from one replica's
+    compiled engine (memoised per (instance, cover, φ), so verdicts
+    survive cover-neutral deltas and the memo probe itself is replica-
+    free).  Returns the verdict and the epoch of the snapshot it was
+    answered from.  Errors when [phi] is not a CFD over the view. *)
 val propagates : t -> Cfds.Cfd.t -> (bool * int, string) result
 
 (** [explain t phi] — the verdict plus the cover members the implication
     chase fired and their Σ attributions (materialising the provenance
-    attribution on first use; subsequent calls reuse it until a delta
-    invalidates the cover). *)
+    attribution on first use; it lives in the snapshot, so a delta swap
+    naturally invalidates it). *)
 val explain : t -> Cfds.Cfd.t -> (explanation, string) result
 
 val add_cfd : t -> Cfds.Cfd.t -> (delta_report, string) result

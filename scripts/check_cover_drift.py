@@ -26,6 +26,13 @@ up in cover sizes alone.
 The same script validates the XL sweep baseline: point rows there carry
 extra "gc"/"ab" objects, which the cover comparison ignores.
 
+When the smoke dump carries a serve figure (any point with a "serve"
+object), the replicated-session counters serve.replica_reads,
+serve.epoch_swaps and rbr.delta_seeded join the mandatory set
+automatically — a zero on any of them means the replica slots, the
+epoch-swap path, or the RBR derivation-store seeding silently stopped
+running.
+
 --extra-counters NAME[,NAME...] appends counters to the mandatory set —
 the fleet smoke requires memo.hits/memo.misses/memo.inserts/fleet.views
 (a zero memo.hits on the overlap workload means cross-view sharing
@@ -59,6 +66,18 @@ MANDATORY_COUNTERS = (
     "ir.to_ast",
     "fast_impl.mask_prune_skips",
     "fast_impl.arena_resets",
+)
+
+# Required in addition whenever the smoke dump carries a serve figure
+# (the replicated-session refactor): a zero serve.replica_reads means
+# queries stopped going through the replica slots, a zero
+# serve.epoch_swaps means the delta stream stopped publishing new
+# snapshots, and a zero rbr.delta_seeded means Tier-C recomputes
+# stopped entering RBR with the previous run's derivation store.
+SERVE_MANDATORY_COUNTERS = (
+    "serve.replica_reads",
+    "serve.epoch_swaps",
+    "rbr.delta_seeded",
 )
 
 
@@ -214,11 +233,20 @@ def main():
         else argv[1] if len(argv) == 2 else "BENCH_cover.json"
     )
 
-    if stats_path is not None and not check_stats(stats_path, extra_counters):
-        return 1
-
     smoke_seeds, smoke = load_points(smoke_path)
     base_seeds, base = load_points(base_path)
+
+    is_serve_smoke = any(
+        isinstance(pt.get("serve"), dict) for pt in smoke.values()
+    )
+    if is_serve_smoke:
+        extra_counters = SERVE_MANDATORY_COUNTERS + tuple(
+            name for name in extra_counters
+            if name not in SERVE_MANDATORY_COUNTERS
+        )
+
+    if stats_path is not None and not check_stats(stats_path, extra_counters):
+        return 1
 
     if not check_serve_ops(smoke):
         return 1

@@ -434,6 +434,113 @@ let test_concurrent_hammer () =
     (Session.epoch s = st.Session.patches + st.Session.fallbacks);
   check_bool "final cover matches fresh batch" true (covers_match s)
 
+(* ------------------------------------------------------------------ *)
+(* Replicated sessions: concurrent readers across replica slots during
+   epoch swaps.  Each reader domain runs a long sequential stream of
+   propagates against a 4-replica session while the main domain applies
+   deltas (Tier C recompute swaps and Tier A patch swaps).  Invariants:
+
+   - per reader, observed epochs are monotonically non-decreasing — a
+     read from epoch e answered after a read from e+1 on the same
+     connection would mean a torn/stale snapshot was served;
+   - across all readers, one verdict per epoch (the hammer test's
+     serializability check, here against genuinely concurrent slots);
+   - the replica slot array has the requested width and was exercised;
+   - the final resident cover is byte-identical to a fresh batch run. *)
+
+let test_replicated_swap_torture () =
+  let open Fixtures in
+  let memo = P.Memo.create () in
+  let s =
+    ok_exn
+      (Session.create ~replicas:4 ~memo ~name:"r" ~view:q1
+         ~sigma:[ f1; f2 ] ())
+  in
+  check_int "replica slots" 4 (Session.replicas s);
+  let reader () =
+    let rec go acc last n =
+      if n = 0 then List.rev acc
+      else
+        match Session.propagates s phi4 with
+        | Ok (v, ep) ->
+          if ep < last then
+            Alcotest.failf "reader epoch went backwards: %d after %d" ep last;
+          go ((ep, v) :: acc) ep (n - 1)
+        | Error e -> Alcotest.failf "reader failed: %s" e
+    in
+    go [] (-1) 400
+  in
+  let readers = List.init 3 (fun _ -> Stdlib.Domain.spawn reader) in
+  (* Writer (this domain): interleave Tier C swaps (cfd1 flips phi4's
+     verdict) with Tier A patch swaps on the off-view relation. *)
+  let off = C.fd "R2" [ "zip" ] "street" in
+  for _ = 1 to 8 do
+    ignore (ok_exn (Session.add_cfd s cfd1));
+    ignore (ok_exn (Session.add_cfd s off));
+    ignore (ok_exn (Session.remove_cfd s cfd1));
+    ignore (ok_exn (Session.remove_cfd s off))
+  done;
+  let streams = List.map Stdlib.Domain.join readers in
+  let per_epoch = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (ep, v) ->
+         match Hashtbl.find_opt per_epoch ep with
+         | None -> Hashtbl.add per_epoch ep v
+         | Some v' ->
+           check_bool
+             (Printf.sprintf "epoch %d answered consistently" ep)
+             v' v))
+    streams;
+  let reads = Session.replica_reads s in
+  check_int "replica read counters" 4 (Array.length reads);
+  check_bool "slots were exercised" true
+    (Array.fold_left ( + ) 0 reads > 0);
+  let st = Session.stats s in
+  check_int "32 swaps applied" 32 st.Session.epoch;
+  check_bool "final cover matches fresh batch" true (covers_match s)
+
+(* The RBR derivation store: a Tier-C recompute enters RBR with the
+   previous run's derivations (rbr.delta_seeded) and serves surviving
+   producer × consumer resolvents from it (rbr.delta_reuse), while the
+   cover stays byte-identical (covers_match, and every prop_walk seed
+   exercises the same path).  The doc is built so RBR actually drops
+   attributes: W projects [a, c] away from R(a, b, c, d), making
+   [a] -> [c] a genuine b-resolvent both runs derive. *)
+let test_delta_seeding_counters () =
+  let doc =
+    "schema R(a: string, b: string, c: string, d: string); \
+     cfd R([a] -> [b]); cfd R([b] -> [c]); \
+     view W = from [R(a, b, c, d)] project [a, c];"
+  in
+  let parsed =
+    match Syntax.Parser.parse_document doc with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "doc: %s" e
+  in
+  let view = List.hd parsed.Syntax.Parser.views in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) @@ fun () ->
+  let memo = P.Memo.create () in
+  let s =
+    ok_exn
+      (Session.create ~memo ~name:"d" ~view ~sigma:parsed.Syntax.Parser.cfds
+         ())
+  in
+  let counter name =
+    match List.assoc_opt name (Obs.snapshot ()).Obs.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  check_int "store cold on the initial cover" 0 (counter "rbr.delta_seeded");
+  (* [a] -> [d] survives R's minimal-cover slice: Tier C. *)
+  let d = ok_exn (Session.add_cfd s (C.fd "R" [ "a" ] "d")) in
+  check_bool "delta recomputed" true (d.Session.plan = Session.Recomputed);
+  check_bool "recompute entered RBR seeded" true
+    (counter "rbr.delta_seeded" >= 1);
+  check_bool "derivations were reused" true (counter "rbr.delta_reuse" >= 1);
+  check_bool "seeded cover matches fresh batch" true (covers_match s)
+
 let suite =
   [
     ("json roundtrip", `Quick, test_json_roundtrip);
@@ -443,5 +550,7 @@ let suite =
     ("delta tiers on the running example", `Quick, test_delta_tiers);
     ("stable ids preserve semantics", `Quick, test_stable_ids);
     ("concurrent hammer", `Quick, test_concurrent_hammer);
+    ("replicated swap torture", `Quick, test_replicated_swap_torture);
+    ("delta seeding counters", `Quick, test_delta_seeding_counters);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_walk ]
